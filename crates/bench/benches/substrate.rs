@@ -1,0 +1,77 @@
+//! Micro-benches of the CONGEST substrate primitives: flood step, BFS-tree
+//! construction, convergecast, and the §3.1 distributed binary search —
+//! plus sequential vs rayon-parallel engine comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmt_congest::bfs::build_bfs_tree;
+use lmt_congest::binsearch::{sum_of_r_smallest, TieBreak};
+use lmt_congest::flood::estimate_rw_probability;
+use lmt_congest::message::olog_budget;
+use lmt_congest::EngineKind;
+use lmt_graph::gen;
+
+fn bench_flood(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_flood_100_steps");
+    group.sample_size(10);
+    for n in [256usize, 1024] {
+        let g = gen::random_regular(n, 8, 1);
+        for (name, kind) in [
+            ("seq", EngineKind::Sequential),
+            ("par", EngineKind::Parallel),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        estimate_rw_probability(g, 0, 100, 6, olog_budget(n, 10), kind, 3)
+                            .unwrap()
+                            .2
+                            .rounds
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_bfs_and_binsearch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate_primitives");
+    group.sample_size(10);
+    let g = gen::random_regular(512, 8, 2);
+    let budget = olog_budget(512, 16);
+    group.bench_function("bfs_tree_512", |b| {
+        b.iter(|| {
+            build_bfs_tree(&g, 0, u32::MAX, budget, EngineKind::Sequential, 1)
+                .unwrap()
+                .0
+                .depth
+        })
+    });
+    let (tree, _) = build_bfs_tree(&g, 0, u32::MAX, budget, EngineKind::Sequential, 1).unwrap();
+    let values: Vec<u128> = (0..512u128).map(|i| (i * 2654435761) % 100_000).collect();
+    group.bench_function("binsearch_r_smallest_512", |b| {
+        b.iter(|| {
+            sum_of_r_smallest(
+                &g,
+                &tree,
+                &values,
+                128,
+                17,
+                TieBreak::ThresholdCorrection,
+                None,
+                budget,
+                EngineKind::Sequential,
+                4,
+            )
+            .unwrap()
+            .0
+            .sum
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood, bench_bfs_and_binsearch);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for T1: wall-clock of the centralized local-mixing
+//! oracle across graph classes (the quantity the shape claims rest on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmt_bench::{classic_workloads, oracle_opts, walk_kind_for};
+use lmt_walks::local::local_mixing_time;
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_oracle_local_mixing");
+    group.sample_size(10);
+    for w in classic_workloads(128, 8, 42) {
+        if w.name.starts_with("path") {
+            continue; // τ ≈ n²/β² steps; too slow for a micro-bench loop
+        }
+        let mut opts = oracle_opts(8.0);
+        opts.kind = walk_kind_for(&w);
+        opts.flat_policy = lmt_walks::local::FlatPolicy::AssumeFlat;
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &w, |b, w| {
+            b.iter(|| local_mixing_time(&w.graph, w.source, &opts).unwrap().tau)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

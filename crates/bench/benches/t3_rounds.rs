@@ -1,0 +1,33 @@
+//! Criterion bench for T3: wall-clock of distributed Algorithm 2 as n grows
+//! (the simulator cost backing the round-complexity table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmt_core::{local_mixing_time_approx, AlgoConfig};
+use lmt_graph::gen;
+
+fn bench_algo2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t3_algorithm2");
+    group.sample_size(10);
+    // β matches the block count so acceptance comes at ℓ ≈ τ_s = O(1);
+    // clique size 32 keeps port sources inside the acceptance region.
+    for blocks in [4usize, 8] {
+        let (g, _) = gen::ring_of_cliques_regular(blocks, 32);
+        let cfg = AlgoConfig::new(blocks as f64);
+        group.bench_with_input(
+            BenchmarkId::new("clique_ring", format!("beta{blocks}_n{}", g.n())),
+            &g,
+            |b, g| b.iter(|| local_mixing_time_approx(g, 1, &cfg).unwrap().ell),
+        );
+    }
+    for n in [64usize, 128] {
+        let g = gen::random_regular(n, 8, 5);
+        let cfg = AlgoConfig::new(4.0);
+        group.bench_with_input(BenchmarkId::new("expander", n), &g, |b, g| {
+            b.iter(|| local_mixing_time_approx(g, 0, &cfg).unwrap().ell)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algo2);
+criterion_main!(benches);

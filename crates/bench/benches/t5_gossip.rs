@@ -1,0 +1,35 @@
+//! Criterion bench for T5/T6: push–pull partial spreading in both exchange
+//! models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmt_gossip::coverage::rounds_to_beta_spread;
+use lmt_gossip::GossipMode;
+use lmt_graph::gen;
+
+fn bench_gossip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t5_partial_spreading");
+    group.sample_size(10);
+    let (ring, _) = gen::ring_of_cliques_regular(8, 16);
+    let expander = gen::random_regular(128, 8, 7);
+    for (name, g) in [("clique_ring_8x16", &ring), ("expander_128", &expander)] {
+        for (mode_name, mode) in [
+            ("local", GossipMode::Local),
+            ("congest", GossipMode::CongestLimited),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, mode_name),
+                g,
+                |b, g| {
+                    b.iter(|| {
+                        rounds_to_beta_spread(g, 8.0, mode, 3, 1_000_000)
+                            .expect("must spread")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gossip);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for T8: estimator wall-clock comparison on the same
+//! workload (flood global-mixing estimator vs sampling model vs Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmt_core::baselines::{das_sarma_style_estimate, estimate_global_mixing_time};
+use lmt_core::{local_mixing_time_approx, AlgoConfig};
+use lmt_graph::gen;
+
+fn bench_estimators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t8_estimators");
+    group.sample_size(10);
+    let (g, _) = gen::ring_of_cliques_regular(8, 16);
+    // β = 8 ⇒ Algorithm 2 accepts single-clique sets; the flood estimator
+    // must still resolve the full τ_mix ≈ 1.5k.
+    let cfg = AlgoConfig::new(8.0);
+    group.bench_function("flood_global_mixing", |b| {
+        b.iter(|| estimate_global_mixing_time(&g, 0, &cfg).unwrap().tau)
+    });
+    let mut samp_cfg = cfg;
+    samp_cfg.max_len = 1 << 12;
+    group.bench_function("sampling_model_2000walks", |b| {
+        b.iter(|| das_sarma_style_estimate(&g, 0, &samp_cfg, 2000).rounds_charged)
+    });
+    group.bench_function("algorithm2_local", |b| {
+        b.iter(|| local_mixing_time_approx(&g, 0, &cfg).unwrap().ell)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Run the full experiment suite (T1–T11 + F1) in order, printing each
+//! table — this is what `EXPERIMENTS.md` records.
+//!
+//! Usage: `cargo run -p lmt-bench --release --bin exp-all`
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "exp-t1-graph-classes",
+        "exp-f1-barbell-gap",
+        "exp-t2-approx-quality",
+        "exp-t3-approx-rounds",
+        "exp-t4-exact",
+        "exp-t5-partial-spreading",
+        "exp-t6-congest-gossip",
+        "exp-t7-rounding-error",
+        "exp-t8-baselines",
+        "exp-t9-monotonicity",
+        "exp-t10-weak-conductance",
+        "exp-t11-assumption",
+        "exp-t12-source-sensitivity",
+        "exp-t13-upcast-ablation",
+    ];
+    // Invoke sibling binaries from the same target directory.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("target dir").to_path_buf();
+    for bin in bins {
+        println!("\n===== {bin} =====");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+}

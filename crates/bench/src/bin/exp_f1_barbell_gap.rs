@@ -1,0 +1,44 @@
+//! F1 — Figure 1's graph: the τ_mix / τ_s gap as a function of β.
+//!
+//! Claim: on the β-barbell, τ_s = O(1) while τ_mix = Ω(β²); the gap series
+//! should fit a log–log slope ≈ 2 in β. At β = √n the gap is ≈ n (§1).
+
+use lmt_bench::{oracle_tau, oracle_tau_mix, EPS};
+use lmt_graph::gen::{self, Workload};
+use lmt_util::stats::loglog_slope;
+use lmt_util::table::Table;
+use lmt_walks::WalkKind;
+
+fn main() {
+    // Clique size fixed at 32: large enough that the per-step bridge leak
+    // (~2/(k(k−1))) keeps the in-clique mass deficit below ε = 1/8e by the
+    // time the walk flattens inside the clique. (At k = 16 the deficit is
+    // marginally above ε and the strict Definition-2 oracle degenerates to
+    // global mixing — see EXPERIMENTS.md, "boundary effects".)
+    let k = 32usize;
+    let mut t = Table::new(
+        format!("F1: β-barbell gap sweep (clique size k = {k}, ε = 1/8e)"),
+        &["β", "n", "τ_s(β,ε)", "τ_mix_s(ε)", "gap"],
+    );
+    let mut pts = Vec::new();
+    for beta in [4usize, 8, 16, 32] {
+        let (g, _) = gen::ring_of_cliques_regular(beta, k);
+        let w = Workload::new(format!("clique-ring({beta},{k})"), g, 1);
+        let cap = 200 * beta * beta * k;
+        let tau_s = oracle_tau(&w, beta as f64, WalkKind::Simple, cap).unwrap();
+        let tau_mix = oracle_tau_mix(&w, WalkKind::Simple, cap).unwrap();
+        let gap = tau_mix as f64 / tau_s.max(1) as f64;
+        pts.push((beta as f64, gap));
+        t.row(&[
+            beta.to_string(),
+            (beta * k).to_string(),
+            tau_s.to_string(),
+            tau_mix.to_string(),
+            format!("{gap:.1}"),
+        ]);
+    }
+    print!("{}", t.render());
+    let slope = loglog_slope(&pts).unwrap_or(f64::NAN);
+    println!("log-log slope of gap vs β: {slope:.2} (paper claim: ≈ 2, i.e. gap = Ω(β²))");
+    println!("ε = {EPS:.4}");
+}

@@ -1,0 +1,113 @@
+//! # lmt-bench
+//!
+//! Shared harness for the experiment binaries (`exp-*`) and criterion
+//! benches. Each binary regenerates one row-set of DESIGN.md §4's experiment
+//! index; `exp-all` runs the full suite (what EXPERIMENTS.md records).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lmt_graph::gen::{self, Workload};
+use lmt_walks::local::{LocalMixOptions, SizeGrid};
+use lmt_walks::mixing::mixing_time;
+use lmt_walks::WalkKind;
+
+/// The paper's suggested accuracy parameter `ε = 1/8e`.
+pub const EPS: f64 = 1.0 / (8.0 * std::f64::consts::E);
+
+/// Oracle options used across experiments (geometric grid — what Algorithm 2
+/// inspects; flat target per the paper's regular-graph setting).
+pub fn oracle_opts(beta: f64) -> LocalMixOptions {
+    let mut o = LocalMixOptions::new(beta);
+    o.eps = EPS;
+    o.grid = SizeGrid::Geometric;
+    o
+}
+
+/// The standard workload set of §2.3: complete, d-regular expander, path,
+/// and the (regularized) clique chain standing in for the β-barbell.
+pub fn classic_workloads(n: usize, beta: usize, seed: u64) -> Vec<Workload> {
+    let k = (n / beta).max(4);
+    vec![
+        Workload::new(format!("complete(n={n})"), gen::complete(n), 0),
+        Workload::new(
+            format!("expander(n={n},d=8)"),
+            gen::random_regular(n, 8, seed),
+            0,
+        ),
+        Workload::new(format!("path(n={n})"), gen::path(n), 0),
+        Workload::new(
+            format!("clique-ring(beta={beta},k={k})"),
+            gen::ring_of_cliques_regular(beta.max(3), k).0,
+            0,
+        ),
+    ]
+}
+
+/// Oracle local mixing time; returns `u64::MAX` when not reached within the
+/// cap (reported as `∞` by callers).
+pub fn oracle_tau(w: &Workload, beta: f64, kind: WalkKind, max_t: usize) -> Option<u64> {
+    let mut o = oracle_opts(beta);
+    o.kind = kind;
+    o.max_t = max_t;
+    // Non-regular workloads (the path endpoints differ) use the paper's own
+    // loose flat treatment.
+    o.flat_policy = lmt_walks::local::FlatPolicy::AssumeFlat;
+    lmt_walks::local::local_mixing_time(&w.graph, w.source, &o)
+        .ok()
+        .map(|r| r.tau as u64)
+}
+
+/// Oracle global mixing time with the same conventions.
+pub fn oracle_tau_mix(w: &Workload, kind: WalkKind, max_t: usize) -> Option<u64> {
+    mixing_time(&w.graph, w.source, EPS, kind, max_t)
+        .ok()
+        .map(|r| r.tau as u64)
+}
+
+/// Pick the walk kind a workload needs (lazy iff bipartite).
+pub fn walk_kind_for(w: &Workload) -> WalkKind {
+    if lmt_graph::props::bipartition(&w.graph).is_some() {
+        WalkKind::Lazy
+    } else {
+        WalkKind::Simple
+    }
+}
+
+/// Format an optional count, `∞` when absent.
+pub fn fmt_opt(x: Option<u64>) -> String {
+    x.map_or("∞".into(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_connected() {
+        for w in classic_workloads(64, 8, 1) {
+            assert!(
+                lmt_graph::props::is_connected(&w.graph),
+                "{} disconnected",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn walk_kind_lazy_for_path() {
+        let ws = classic_workloads(32, 4, 1);
+        let path = ws.iter().find(|w| w.name.starts_with("path")).unwrap();
+        assert_eq!(walk_kind_for(path), WalkKind::Lazy);
+        let complete = ws.iter().find(|w| w.name.starts_with("complete")).unwrap();
+        assert_eq!(walk_kind_for(complete), WalkKind::Simple);
+    }
+
+    #[test]
+    fn oracle_helpers_run() {
+        let ws = classic_workloads(32, 4, 1);
+        let complete = &ws[0];
+        assert_eq!(oracle_tau(complete, 4.0, WalkKind::Simple, 100), Some(1));
+        assert!(oracle_tau_mix(complete, WalkKind::Simple, 100).is_some());
+    }
+}

@@ -1,0 +1,550 @@
+//! The synchronous round executor.
+//!
+//! Semantics: in round `t ≥ 1` every node first *receives* the messages sent
+//! in round `t−1`, then performs local computation, then *sends* messages to
+//! neighbors. Round 0 is the `init` hook (local setup + initial sends).
+//!
+//! Two interchangeable engines execute node steps: sequential and
+//! rayon-parallel. Both produce **bit-identical** executions because
+//! (a) every node owns an RNG stream derived from `(seed, node_id)` only,
+//! (b) inboxes are assembled in ascending sender order, and (c) node steps
+//! never share mutable state.
+
+use crate::message::Payload;
+use lmt_graph::Graph;
+use lmt_util::rng::RngFanout;
+use rand::rngs::SmallRng;
+use rayon::prelude::*;
+
+/// Which executor to use. Results are identical; only wall-clock differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Plain loop over nodes.
+    #[default]
+    Sequential,
+    /// Rayon `par_iter` over nodes.
+    Parallel,
+}
+
+/// Aggregate cost metrics of a run (the paper's complexity measures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Rounds executed (init not counted; matches the paper's convention of
+    /// counting communication rounds).
+    pub rounds: u64,
+    /// Total messages delivered.
+    pub messages: u64,
+    /// Total bits delivered.
+    pub bits: u64,
+    /// Maximum bits observed on one directed edge in one round.
+    pub max_edge_bits: u32,
+}
+
+impl Metrics {
+    /// Accumulate another phase's metrics (used when an algorithm composes
+    /// several protocol phases; rounds add, maxima combine).
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.bits += other.bits;
+        self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
+    }
+}
+
+/// Failures surfaced by the executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// A node loaded more bits onto a directed edge in one round than the
+    /// CONGEST budget allows.
+    BudgetExceeded {
+        /// Sender node.
+        from: usize,
+        /// Receiver node.
+        to: usize,
+        /// Round in which the violation occurred.
+        round: u64,
+        /// Bits attempted on the edge.
+        bits: u32,
+        /// The configured per-edge budget.
+        budget: u32,
+    },
+    /// The run did not reach its stop condition within the round cap.
+    RoundLimit(u64),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::BudgetExceeded {
+                from,
+                to,
+                round,
+                bits,
+                budget,
+            } => write!(
+                f,
+                "CONGEST budget exceeded on edge {from}->{to} in round {round}: {bits} bits > {budget}"
+            ),
+            RunError::RoundLimit(r) => write!(f, "round limit {r} reached without termination"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Per-node protocol logic.
+///
+/// Implementations hold the node's local state. The engine calls
+/// [`Protocol::init`] once, then [`Protocol::round`] every round with the
+/// messages received (sorted by sender id).
+pub trait Protocol: Send {
+    /// The message type this protocol exchanges.
+    type Msg: Payload;
+
+    /// Round-0 hook: local setup and initial sends.
+    fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// One synchronous round: consume `inbox`, update state, send.
+    fn round(&mut self, ctx: &mut Ctx<'_, Self::Msg>, inbox: &[(u32, Self::Msg)]);
+}
+
+/// Per-step context handed to a node: identity, topology access, sending.
+pub struct Ctx<'a, M: Payload> {
+    id: usize,
+    graph: &'a Graph,
+    round: u64,
+    outbox: &'a mut Vec<(u32, M)>,
+    /// The node's deterministic RNG stream.
+    pub rng: &'a mut SmallRng,
+}
+
+impl<M: Payload> Ctx<'_, M> {
+    /// This node's id.
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of nodes in the network (a model input, §1.1).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Degree of this node.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.id)
+    }
+
+    /// Neighbor ids (initial knowledge per §1.1).
+    #[inline]
+    pub fn neighbors(&self) -> impl Iterator<Item = usize> + '_ {
+        self.graph.neighbors(self.id)
+    }
+
+    /// Current round number (0 during `init`).
+    #[inline]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Send `msg` to neighbor `to`.
+    ///
+    /// # Panics
+    /// Panics if `to` is not adjacent — a protocol bug, not a runtime
+    /// condition.
+    pub fn send(&mut self, to: usize, msg: M) {
+        debug_assert!(
+            self.graph.has_edge(self.id, to),
+            "node {} sending to non-neighbor {}",
+            self.id,
+            to
+        );
+        self.outbox.push((to as u32, msg));
+    }
+
+    /// Send a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, msg: M) {
+        let nbrs: Vec<usize> = self.graph.neighbors(self.id).collect();
+        for v in nbrs {
+            self.outbox.push((v as u32, msg.clone()));
+        }
+    }
+}
+
+struct NodeSlot<P: Protocol> {
+    proto: P,
+    outbox: Vec<(u32, P::Msg)>,
+    rng: SmallRng,
+}
+
+/// A network of nodes running protocol `P` on a graph.
+pub struct Network<'g, P: Protocol> {
+    graph: &'g Graph,
+    nodes: Vec<NodeSlot<P>>,
+    inboxes: Vec<Vec<(u32, P::Msg)>>,
+    round: u64,
+    metrics: Metrics,
+    budget_bits: u32,
+    engine: EngineKind,
+    last_round_sends: u64,
+    initialized: bool,
+}
+
+impl<'g, P: Protocol> Network<'g, P> {
+    /// Build a network: one protocol instance per node from `make`, a
+    /// per-edge-per-round bit budget, an engine kind and a master seed.
+    pub fn new(
+        graph: &'g Graph,
+        mut make: impl FnMut(usize) -> P,
+        budget_bits: u32,
+        engine: EngineKind,
+        seed: u64,
+    ) -> Self {
+        let fan = RngFanout::new(seed);
+        let nodes: Vec<NodeSlot<P>> = (0..graph.n())
+            .map(|id| NodeSlot {
+                proto: make(id),
+                outbox: Vec::new(),
+                rng: fan.node(id),
+            })
+            .collect();
+        let inboxes = (0..graph.n()).map(|_| Vec::new()).collect();
+        Network {
+            graph,
+            nodes,
+            inboxes,
+            round: 0,
+            metrics: Metrics::default(),
+            budget_bits,
+            engine,
+            last_round_sends: 0,
+            initialized: false,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Immutable access to a node's protocol state (for result extraction).
+    pub fn node(&self, id: usize) -> &P {
+        &self.nodes[id].proto
+    }
+
+    /// Iterate over all node states.
+    pub fn node_states(&self) -> impl Iterator<Item = &P> {
+        self.nodes.iter().map(|s| &s.proto)
+    }
+
+    /// Run the `init` hook (idempotent).
+    fn ensure_init(&mut self) -> Result<(), RunError> {
+        if self.initialized {
+            return Ok(());
+        }
+        self.initialized = true;
+        let graph = self.graph;
+        let round = self.round;
+        match self.engine {
+            EngineKind::Sequential => {
+                for (id, slot) in self.nodes.iter_mut().enumerate() {
+                    let mut ctx = Ctx {
+                        id,
+                        graph,
+                        round,
+                        outbox: &mut slot.outbox,
+                        rng: &mut slot.rng,
+                    };
+                    slot.proto.init(&mut ctx);
+                }
+            }
+            EngineKind::Parallel => {
+                self.nodes.par_iter_mut().enumerate().for_each(|(id, slot)| {
+                    let mut ctx = Ctx {
+                        id,
+                        graph,
+                        round,
+                        outbox: &mut slot.outbox,
+                        rng: &mut slot.rng,
+                    };
+                    slot.proto.init(&mut ctx);
+                });
+            }
+        }
+        self.route()
+    }
+
+    /// Move outboxes into inboxes, enforcing the per-edge budget and
+    /// updating metrics. Senders are drained in ascending id order so each
+    /// inbox ends up sorted by sender.
+    fn route(&mut self) -> Result<(), RunError> {
+        let mut sends = 0u64;
+        for from in 0..self.nodes.len() {
+            if self.nodes[from].outbox.is_empty() {
+                continue;
+            }
+            // Per-destination bit accounting for this sender this round.
+            let mut outbox = std::mem::take(&mut self.nodes[from].outbox);
+            outbox.sort_by_key(|(to, _)| *to);
+            let mut i = 0;
+            while i < outbox.len() {
+                let to = outbox[i].0;
+                let mut edge_bits = 0u32;
+                let mut j = i;
+                while j < outbox.len() && outbox[j].0 == to {
+                    edge_bits = edge_bits.saturating_add(outbox[j].1.encoded_bits());
+                    j += 1;
+                }
+                if edge_bits > self.budget_bits {
+                    return Err(RunError::BudgetExceeded {
+                        from,
+                        to: to as usize,
+                        round: self.round,
+                        bits: edge_bits,
+                        budget: self.budget_bits,
+                    });
+                }
+                self.metrics.max_edge_bits = self.metrics.max_edge_bits.max(edge_bits);
+                self.metrics.bits += edge_bits as u64;
+                i = j;
+            }
+            sends += outbox.len() as u64;
+            for (to, msg) in outbox {
+                self.inboxes[to as usize].push((from as u32, msg));
+            }
+        }
+        self.metrics.messages += sends;
+        self.last_round_sends = sends;
+        Ok(())
+    }
+
+    /// Execute one round; returns the number of messages *sent* in it.
+    pub fn step(&mut self) -> Result<u64, RunError> {
+        self.ensure_init()?;
+        self.round += 1;
+        self.metrics.rounds += 1;
+        let graph = self.graph;
+        let round = self.round;
+        // Hand each node its inbox; run the step; collect sends.
+        let inboxes = std::mem::take(&mut self.inboxes);
+        match self.engine {
+            EngineKind::Sequential => {
+                for (id, (slot, inbox)) in self.nodes.iter_mut().zip(&inboxes).enumerate() {
+                    let mut ctx = Ctx {
+                        id,
+                        graph,
+                        round,
+                        outbox: &mut slot.outbox,
+                        rng: &mut slot.rng,
+                    };
+                    slot.proto.round(&mut ctx, inbox);
+                }
+            }
+            EngineKind::Parallel => {
+                self.nodes
+                    .par_iter_mut()
+                    .zip(inboxes.par_iter())
+                    .enumerate()
+                    .for_each(|(id, (slot, inbox))| {
+                        let mut ctx = Ctx {
+                            id,
+                            graph,
+                            round,
+                            outbox: &mut slot.outbox,
+                            rng: &mut slot.rng,
+                        };
+                        slot.proto.round(&mut ctx, inbox);
+                    });
+            }
+        }
+        // Re-install (now empty) inbox buffers, reusing allocations.
+        self.inboxes = inboxes;
+        for ib in &mut self.inboxes {
+            ib.clear();
+        }
+        self.route()?;
+        Ok(self.last_round_sends)
+    }
+
+    /// Run exactly `k` rounds.
+    pub fn run_rounds(&mut self, k: u64) -> Result<(), RunError> {
+        for _ in 0..k {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Run until a round in which no messages were sent **and** none were
+    /// pending delivery (network quiescence), or until `max_rounds`.
+    pub fn run_until_quiet(&mut self, max_rounds: u64) -> Result<(), RunError> {
+        self.ensure_init()?;
+        for _ in 0..max_rounds {
+            if self.last_round_sends == 0 && self.inboxes.iter().all(|b| b.is_empty()) {
+                return Ok(());
+            }
+            self.step()?;
+        }
+        if self.last_round_sends == 0 {
+            return Ok(());
+        }
+        Err(RunError::RoundLimit(max_rounds))
+    }
+
+    /// Run until `pred` holds over the node states, checking after every
+    /// round; errs with [`RunError::RoundLimit`] past `max_rounds`.
+    pub fn run_until(
+        &mut self,
+        mut pred: impl FnMut(&Self) -> bool,
+        max_rounds: u64,
+    ) -> Result<(), RunError> {
+        self.ensure_init()?;
+        if pred(self) {
+            return Ok(());
+        }
+        for _ in 0..max_rounds {
+            self.step()?;
+            if pred(self) {
+                return Ok(());
+            }
+        }
+        Err(RunError::RoundLimit(max_rounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{olog_budget, Ping};
+    use lmt_graph::gen;
+
+    /// Flood a single token: infected nodes ping all neighbors once.
+    struct Infect {
+        infected: bool,
+        is_source: bool,
+        announced: bool,
+    }
+
+    impl Protocol for Infect {
+        type Msg = Ping;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            if self.is_source {
+                self.infected = true;
+                self.announced = true;
+                ctx.send_all(Ping);
+            }
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, Ping>, inbox: &[(u32, Ping)]) {
+            if !inbox.is_empty() && !self.infected {
+                self.infected = true;
+            }
+            if self.infected && !self.announced {
+                self.announced = true;
+                ctx.send_all(Ping);
+            }
+        }
+    }
+
+    fn infect_net(g: &lmt_graph::Graph, kind: EngineKind) -> Network<'_, Infect> {
+        Network::new(
+            g,
+            |id| Infect {
+                infected: false,
+                is_source: id == 0,
+                announced: false,
+            },
+            olog_budget(g.n(), 8),
+            kind,
+            42,
+        )
+    }
+
+    #[test]
+    fn flood_reaches_everyone_in_ecc_rounds() {
+        let g = gen::path(6);
+        let mut net = infect_net(&g, EngineKind::Sequential);
+        net.run_until_quiet(100).unwrap();
+        assert!(net.node_states().all(|s| s.infected));
+        // Path eccentricity from node 0 is 5; one extra quiet round allowed.
+        assert!(net.metrics().rounds <= 7, "rounds={}", net.metrics().rounds);
+    }
+
+    #[test]
+    fn sequential_and_parallel_identical() {
+        let g = gen::random_regular(40, 4, 9);
+        let mut a = infect_net(&g, EngineKind::Sequential);
+        let mut b = infect_net(&g, EngineKind::Parallel);
+        a.run_until_quiet(100).unwrap();
+        b.run_until_quiet(100).unwrap();
+        assert_eq!(a.metrics(), b.metrics());
+        for id in 0..g.n() {
+            assert_eq!(a.node(id).infected, b.node(id).infected);
+        }
+    }
+
+    #[test]
+    fn metrics_count_bits() {
+        let g = gen::complete(4);
+        let mut net = infect_net(&g, EngineKind::Sequential);
+        net.run_until_quiet(10).unwrap();
+        // Every node announces once: 4 nodes × 3 neighbors × 1 bit.
+        assert_eq!(net.metrics().messages, 12);
+        assert_eq!(net.metrics().bits, 12);
+        assert_eq!(net.metrics().max_edge_bits, 1);
+    }
+
+    /// A protocol that deliberately overstuffs an edge.
+    struct Blaster;
+    impl Protocol for Blaster {
+        type Msg = crate::message::Counter;
+        fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+            if ctx.id() == 0 {
+                // 3 × 40-bit messages on one edge in one round.
+                for _ in 0..3 {
+                    ctx.send(1, crate::message::Counter::new(1, 40));
+                }
+            }
+        }
+        fn round(&mut self, _: &mut Ctx<'_, Self::Msg>, _: &[(u32, Self::Msg)]) {}
+    }
+
+    #[test]
+    fn budget_violation_detected() {
+        let g = gen::path(3);
+        let mut net = Network::new(&g, |_| Blaster, 64, EngineKind::Sequential, 0);
+        let err = net.run_until_quiet(5).unwrap_err();
+        match err {
+            RunError::BudgetExceeded { from, to, bits, budget, .. } => {
+                assert_eq!((from, to), (0, 1));
+                assert_eq!(bits, 120);
+                assert_eq!(budget, 64);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_until_predicate() {
+        let g = gen::path(5);
+        let mut net = infect_net(&g, EngineKind::Sequential);
+        net.run_until(|n| n.node(3).infected, 100).unwrap();
+        assert!(net.node(3).infected);
+        assert_eq!(net.metrics().rounds, 3);
+    }
+
+    #[test]
+    fn round_limit_error() {
+        let g = gen::path(4);
+        let mut net = infect_net(&g, EngineKind::Sequential);
+        let err = net.run_until(|_| false, 3).unwrap_err();
+        assert_eq!(err, RunError::RoundLimit(3));
+    }
+}

@@ -1,0 +1,325 @@
+//! Distributed **Algorithm 1** (ESTIMATE-RW-PROBABILITY).
+//!
+//! Per round, every node `u` with non-zero weight sends
+//! `nint(w_{t−1}(u)/d(u))` — the nearest multiple of `1/n^c` — to each
+//! neighbor; receivers *replace* their weight with the exact integer sum of
+//! incoming shares. After `ℓ` rounds each node holds `p̃_ℓ(u)` (Lemma 2:
+//! `|p̃_t − p_t| < t·n^{−c}`-grade accuracy).
+//!
+//! This must agree **bit-for-bit** with the centralized reference
+//! `lmt_walks::fixed_flood::FixedWalk`; the tests enforce that.
+
+use crate::engine::{Ctx, EngineKind, Metrics, Network, Protocol, RunError};
+use crate::message::Payload;
+use lmt_graph::Graph;
+use lmt_util::fixed::{FixedQ, FixedScale};
+use lmt_walks::fixed_flood::{FixedWalk, Rounding};
+use lmt_walks::WalkKind;
+
+/// A probability share: a fixed-point numerator at the run's scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Share {
+    /// The numerator of the share (denominator `n^c` implicit).
+    pub num: u128,
+    /// Wire width in bits (`⌈log₂ n^c⌉`).
+    pub width: u32,
+}
+
+impl Payload for Share {
+    fn encoded_bits(&self) -> u32 {
+        self.width
+    }
+}
+
+/// Per-node state of the flooding walk.
+pub struct FloodNode {
+    scale: FixedScale,
+    steps: u64,
+    width: u32,
+    kind: WalkKind,
+    /// Current weight `w_t(u)`.
+    pub w: FixedQ,
+}
+
+impl FloodNode {
+    fn send_shares(&self, ctx: &mut Ctx<'_, Share>) {
+        if self.w.is_zero() {
+            return; // Algorithm 1 step 3: only nodes with w ≠ 0 speak.
+        }
+        let d = ctx.degree();
+        if d == 0 {
+            return;
+        }
+        // Shared arithmetic with the centralized reference so the two stay
+        // bit-identical (lazy walks ship w/2d and retain w/2, footnote 5).
+        let share = FixedWalk::share_of(&self.scale, Rounding::Nearest, self.kind, self.w, d);
+        if share.is_zero() {
+            return;
+        }
+        ctx.send_all(Share {
+            num: share.numerator(),
+            width: self.width,
+        });
+    }
+}
+
+impl Protocol for FloodNode {
+    type Msg = Share;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Share>) {
+        if self.steps > 0 {
+            self.send_shares(ctx);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Share>, inbox: &[(u32, Share)]) {
+        if ctx.round() > self.steps {
+            return;
+        }
+        // w_t(u) = lazy-kept part + Σ incoming shares.
+        let mut acc = FixedWalk::keep_of(&self.scale, Rounding::Nearest, self.kind, self.w);
+        for (_, s) in inbox {
+            acc = self.scale.add(acc, FixedQ::from_numerator(s.num));
+        }
+        self.w = acc;
+        if ctx.round() < self.steps {
+            self.send_shares(ctx);
+        }
+    }
+}
+
+/// Run Algorithm 1 for `ell` steps from `src` at scale `n^c`.
+///
+/// Returns each node's `p̃_ell` (as fixed-point values plus the scale) and
+/// the CONGEST metrics (`rounds == ell`).
+pub fn estimate_rw_probability(
+    g: &Graph,
+    src: usize,
+    ell: u64,
+    c: u32,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+) -> Result<(Vec<FixedQ>, FixedScale, Metrics), RunError> {
+    estimate_rw_probability_kind(g, src, ell, c, WalkKind::Simple, budget_bits, engine, seed)
+}
+
+/// [`estimate_rw_probability`] with an explicit walk kind (lazy for
+/// bipartite graphs, footnote 5).
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_rw_probability_kind(
+    g: &Graph,
+    src: usize,
+    ell: u64,
+    c: u32,
+    kind: WalkKind,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+) -> Result<(Vec<FixedQ>, FixedScale, Metrics), RunError> {
+    assert!(src < g.n(), "flood source out of range");
+    let scale = FixedScale::new(g.n(), c);
+    let width = scale.payload_bits();
+    assert!(
+        width <= budget_bits,
+        "scale n^{c} needs {width}-bit shares but the edge budget is {budget_bits}; \
+         raise the budget multiplier (the paper's O(log n) hides the factor c)"
+    );
+    let mut net = Network::new(
+        g,
+        |id| FloodNode {
+            scale,
+            steps: ell,
+            width,
+            kind,
+            w: if id == src { scale.one() } else { scale.zero() },
+        },
+        budget_bits,
+        engine,
+        seed,
+    );
+    net.run_rounds(ell)?;
+    let weights = net.node_states().map(|s| s.w).collect();
+    Ok((weights, scale, net.metrics()))
+}
+
+/// An Algorithm 1 flood that advances one step at a time.
+///
+/// The exact algorithm of §3.2 interleaves one walk step with a full
+/// existence check per length `ℓ`; this wrapper keeps the flood network
+/// alive between steps ("we resume the deterministic flooding technique
+/// from the last step", §3.2).
+pub struct IncrementalFlood<'g> {
+    net: Network<'g, FloodNode>,
+    scale: FixedScale,
+    ell: u64,
+}
+
+impl<'g> IncrementalFlood<'g> {
+    /// Set up the flood at `ℓ = 0` (point mass at `src`, simple walk).
+    pub fn new(
+        g: &'g Graph,
+        src: usize,
+        c: u32,
+        budget_bits: u32,
+        engine: EngineKind,
+        seed: u64,
+    ) -> Self {
+        Self::with_kind(g, src, c, WalkKind::Simple, budget_bits, engine, seed)
+    }
+
+    /// Set up with an explicit walk kind (lazy for bipartite graphs).
+    pub fn with_kind(
+        g: &'g Graph,
+        src: usize,
+        c: u32,
+        kind: WalkKind,
+        budget_bits: u32,
+        engine: EngineKind,
+        seed: u64,
+    ) -> Self {
+        assert!(src < g.n(), "flood source out of range");
+        let scale = FixedScale::new(g.n(), c);
+        let width = scale.payload_bits();
+        assert!(
+            width <= budget_bits,
+            "scale n^{c} needs {width}-bit shares but the edge budget is {budget_bits}"
+        );
+        let net = Network::new(
+            g,
+            |id| FloodNode {
+                scale,
+                steps: u64::MAX, // keep flooding; the caller decides when to stop
+                width,
+                kind,
+                w: if id == src { scale.one() } else { scale.zero() },
+            },
+            budget_bits,
+            engine,
+            seed,
+        );
+        IncrementalFlood { net, scale, ell: 0 }
+    }
+
+    /// Advance to `p̃_{ℓ+1}` (one CONGEST round).
+    pub fn advance(&mut self) -> Result<(), RunError> {
+        self.net.step()?;
+        self.ell += 1;
+        Ok(())
+    }
+
+    /// Current length `ℓ`.
+    pub fn ell(&self) -> u64 {
+        self.ell
+    }
+
+    /// The scale in use.
+    pub fn scale(&self) -> FixedScale {
+        self.scale
+    }
+
+    /// Current per-node weights `p̃_ℓ`.
+    pub fn weights(&self) -> Vec<FixedQ> {
+        self.net.node_states().map(|s| s.w).collect()
+    }
+
+    /// Metrics of the flood so far (`rounds == ℓ`).
+    pub fn metrics(&self) -> Metrics {
+        self.net.metrics()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::olog_budget;
+    use lmt_graph::gen;
+
+    fn budget(n: usize) -> u32 {
+        olog_budget(n, 8)
+    }
+
+    #[test]
+    fn bit_identical_to_centralized_reference() {
+        let (g, _) = gen::barbell(3, 5);
+        for ell in [0u64, 1, 2, 7, 40] {
+            let (w, _, m) = estimate_rw_probability(
+                &g,
+                2,
+                ell,
+                6,
+                budget(g.n()),
+                EngineKind::Sequential,
+                11,
+            )
+            .unwrap();
+            let mut reference = FixedWalk::new(&g, 2, 6, Rounding::Nearest);
+            reference.run(&g, ell as usize);
+            assert_eq!(w, reference.w, "ell={ell}");
+            assert_eq!(m.rounds, ell);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let g = gen::random_regular(64, 4, 5);
+        let run = |kind| {
+            estimate_rw_probability(&g, 0, 25, 6, budget(64), kind, 3).unwrap()
+        };
+        let (a, _, ma) = run(EngineKind::Sequential);
+        let (b, _, mb) = run(EngineKind::Parallel);
+        assert_eq!(a, b);
+        assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn rounds_equal_ell() {
+        let g = gen::cycle(12);
+        let (_, _, m) =
+            estimate_rw_probability(&g, 0, 17, 6, budget(12), EngineKind::Sequential, 1).unwrap();
+        assert_eq!(m.rounds, 17);
+    }
+
+    #[test]
+    fn share_width_is_o_log_n() {
+        let g = gen::complete(64);
+        let (_, scale, m) =
+            estimate_rw_probability(&g, 0, 3, 6, budget(64), EngineKind::Sequential, 1).unwrap();
+        // 64^6 = 2^36 → 37-bit payloads; budget 8·6 = 48.
+        assert_eq!(scale.payload_bits(), 37);
+        assert!(m.max_edge_bits <= 37);
+    }
+
+    #[test]
+    fn budget_too_small_is_rejected_up_front() {
+        let g = gen::cycle(8);
+        let err = std::panic::catch_unwind(|| {
+            estimate_rw_probability(&g, 0, 1, 6, 4, EngineKind::Sequential, 1)
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let g = gen::grid(4, 5);
+        let mut inc = IncrementalFlood::new(&g, 3, 6, budget(20), EngineKind::Sequential, 2);
+        for ell in 1..=15u64 {
+            inc.advance().unwrap();
+            let (batch, _, _) =
+                estimate_rw_probability(&g, 3, ell, 6, budget(20), EngineKind::Sequential, 9)
+                    .unwrap();
+            assert_eq!(inc.weights(), batch, "ell={ell}");
+            assert_eq!(inc.ell(), ell);
+        }
+        assert_eq!(inc.metrics().rounds, 15);
+    }
+
+    #[test]
+    fn zero_steps_keeps_point_mass() {
+        let g = gen::path(4);
+        let (w, scale, _) =
+            estimate_rw_probability(&g, 1, 0, 6, budget(4), EngineKind::Sequential, 1).unwrap();
+        assert_eq!(w[1], scale.one());
+        assert!(w[0].is_zero() && w[2].is_zero());
+    }
+}

@@ -1,0 +1,48 @@
+//! # lmt-congest
+//!
+//! A synchronous message-passing network simulator for the **CONGEST model**
+//! (§1.1 of Molla & Pandurangan, IPDPS 2018): `n` nodes on the vertices of an
+//! undirected graph, communication in synchronous rounds, and — the defining
+//! constraint — only `O(log n)` bits per edge per round.
+//!
+//! ## What the paper needs from the substrate
+//!
+//! The paper's cost measure is the **number of rounds**; local computation is
+//! free (§1.1). The simulator therefore meters rounds, message counts, and
+//! per-edge bits (rejecting protocols that exceed the configured budget), and
+//! deliberately does *not* model wall-clock network latency.
+//!
+//! ## Structure
+//!
+//! * [`message`] — the [`message::Payload`] trait (semantic wire-size
+//!   accounting) and field-width helpers.
+//! * [`engine`] — [`engine::Network`]: sequential and rayon-parallel round
+//!   executors with identical (deterministic, seeded) semantics, budget
+//!   enforcement, quiescence detection and [`engine::Metrics`].
+//! * [`bfs`] — distributed BFS-tree construction by flooding (depth-limited,
+//!   as used in step 3 of Algorithm 2), verified against the centralized
+//!   traversal.
+//! * [`tree`] — broadcast and convergecast (sum / min / max / count) over a
+//!   constructed BFS tree — the upcast/downcast toolkit of §3.1.
+//! * [`binsearch`] — the paper's distributed binary search that lets the
+//!   source learn **the sum of the `R` smallest node values** in
+//!   `O(D log n)` rounds (§3.1), with both the paper's random tie-breaking
+//!   and an exact threshold-correction variant.
+//! * [`flood`] — the distributed form of **Algorithm 1**
+//!   (ESTIMATE-RW-PROBABILITY): per-round probability flooding in fixed
+//!   point, bit-identical to the centralized reference in
+//!   `lmt-walks::fixed_flood`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod binsearch;
+pub mod engine;
+pub mod flood;
+pub mod message;
+pub mod tree;
+pub mod upcast;
+
+pub use engine::{EngineKind, Metrics, Network, RunError};
+pub use message::Payload;

@@ -1,0 +1,119 @@
+//! Wire-size accounting for CONGEST messages.
+//!
+//! The CONGEST model charges each edge `O(log n)` bits per round. Payload
+//! types report their wire size via [`Payload::encoded_bits`]; the engine
+//! sums the bits crossing each directed edge per round and rejects runs that
+//! exceed the configured budget.
+//!
+//! Sizes are *semantic* (how many bits the field needs given the known
+//! universe, e.g. `⌈log₂(n+1)⌉` for a node id), not Rust in-memory sizes —
+//! matching how the paper counts: a probability numerator at scale `n^c`
+//! costs `c·⌈log₂ n⌉` bits, a hop counter costs `⌈log₂ n⌉`, etc.
+
+/// A message payload with an explicit wire size.
+pub trait Payload: Clone + Send + Sync + 'static {
+    /// Number of bits this message occupies on an edge.
+    fn encoded_bits(&self) -> u32;
+}
+
+/// Bits needed to address a value in `0..=max_value`.
+#[inline]
+pub fn bits_for(max_value: u128) -> u32 {
+    128 - max_value.leading_zeros()
+}
+
+/// Bits for a node id in an `n`-node network.
+#[inline]
+pub fn id_bits(n: usize) -> u32 {
+    bits_for(n.saturating_sub(1) as u128).max(1)
+}
+
+/// The standard CONGEST per-edge budget: `multiplier · ⌈log₂ n⌉` bits.
+///
+/// Algorithm 1 ships `c·log₂ n`-bit numerators (`c = 6` by default), so the
+/// budget multiplier must be at least `c` plus small header room; the paper
+/// treats all of this as `O(log n)`.
+#[inline]
+pub fn olog_budget(n: usize, multiplier: u32) -> u32 {
+    (multiplier * id_bits(n)).max(1)
+}
+
+/// A unit payload for protocols that only signal presence (1 bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ping;
+
+impl Payload for Ping {
+    fn encoded_bits(&self) -> u32 {
+        1
+    }
+}
+
+/// A `u64` counter payload whose wire size is fixed by the known universe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Counter {
+    /// The value.
+    pub value: u64,
+    /// Declared field width in bits (≥ the value's true width).
+    pub width: u32,
+}
+
+impl Counter {
+    /// Construct, checking the value fits the declared width.
+    pub fn new(value: u64, width: u32) -> Self {
+        assert!(
+            width >= bits_for(value as u128),
+            "counter value {value} does not fit in {width} bits"
+        );
+        Counter { value, width }
+    }
+}
+
+impl Payload for Counter {
+    fn encoded_bits(&self) -> u32 {
+        self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+
+    #[test]
+    fn id_bits_examples() {
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+        assert_eq!(id_bits(1), 1); // degenerate networks still cost 1 bit
+    }
+
+    #[test]
+    fn budget_scales_logarithmically() {
+        assert_eq!(olog_budget(1024, 8), 80);
+        assert_eq!(olog_budget(2048, 8), 88);
+    }
+
+    #[test]
+    fn counter_width_check() {
+        let c = Counter::new(5, 3);
+        assert_eq!(c.encoded_bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn counter_overflow_rejected() {
+        let _ = Counter::new(8, 3);
+    }
+
+    #[test]
+    fn ping_is_one_bit() {
+        assert_eq!(Ping.encoded_bits(), 1);
+    }
+}

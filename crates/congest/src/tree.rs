@@ -1,0 +1,486 @@
+//! Broadcast and convergecast over a BFS tree (§3.1's upcast/downcast
+//! toolkit; see also \[20\] in the paper).
+//!
+//! * **Broadcast**: the root pushes a value down the tree; `depth` rounds.
+//! * **Convergecast**: every node contributes a value; aggregates flow up,
+//!   each internal node combining its children's partials with its own
+//!   before forwarding; `depth` rounds. Aggregations are any associative,
+//!   commutative [`Aggregate`] — sum / min / max / count are provided.
+//!
+//! Both are implemented as real message-passing protocols on the engine, so
+//! every invocation pays its true CONGEST round/bit cost.
+
+use crate::bfs::BfsTree;
+use crate::engine::{Ctx, EngineKind, Metrics, Network, Protocol, RunError};
+use crate::message::Payload;
+use lmt_graph::Graph;
+
+/// An associative, commutative aggregation over a payload type.
+pub trait Aggregate: Payload {
+    /// Combine two partial aggregates.
+    fn combine(&self, other: &Self) -> Self;
+}
+
+/// A `u128` value with an explicit wire width, the workhorse payload for
+/// fixed-point numerators (`c·log₂ n` bits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wide {
+    /// The value.
+    pub value: u128,
+    /// Declared field width in bits.
+    pub width: u32,
+}
+
+impl Wide {
+    /// Construct, checking the value fits.
+    pub fn new(value: u128, width: u32) -> Self {
+        assert!(
+            width >= crate::message::bits_for(value),
+            "value {value} does not fit in {width} bits"
+        );
+        Wide { value, width }
+    }
+}
+
+impl Payload for Wide {
+    fn encoded_bits(&self) -> u32 {
+        self.width
+    }
+}
+
+/// Sum aggregation of [`Wide`] values.
+///
+/// The declared width grows by the carry allowance `⌈log₂ n⌉` supplied at
+/// construction (a sum of ≤ n bounded values needs log n extra bits — still
+/// `O(log n)` overall).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SumVal(pub Wide);
+
+impl Payload for SumVal {
+    fn encoded_bits(&self) -> u32 {
+        self.0.width
+    }
+}
+
+impl Aggregate for SumVal {
+    fn combine(&self, other: &Self) -> Self {
+        SumVal(Wide {
+            value: self
+                .0
+                .value
+                .checked_add(other.0.value)
+                .expect("convergecast sum overflow"),
+            width: self.0.width.max(other.0.width),
+        })
+    }
+}
+
+/// Min aggregation of [`Wide`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MinVal(pub Wide);
+
+impl Payload for MinVal {
+    fn encoded_bits(&self) -> u32 {
+        self.0.width
+    }
+}
+
+impl Aggregate for MinVal {
+    fn combine(&self, other: &Self) -> Self {
+        if other.0.value < self.0.value {
+            *other
+        } else {
+            *self
+        }
+    }
+}
+
+/// Max aggregation of [`Wide`] values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MaxVal(pub Wide);
+
+impl Payload for MaxVal {
+    fn encoded_bits(&self) -> u32 {
+        self.0.width
+    }
+}
+
+impl Aggregate for MaxVal {
+    fn combine(&self, other: &Self) -> Self {
+        if other.0.value > self.0.value {
+            *other
+        } else {
+            *self
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------------
+
+struct BroadcastNode<V: Payload> {
+    parent: Option<u32>,
+    children: Vec<u32>,
+    in_tree: bool,
+    is_root: bool,
+    /// The received (or initial, at the root) value.
+    pub value: Option<V>,
+    sent: bool,
+}
+
+impl<V: Payload> Protocol for BroadcastNode<V> {
+    type Msg = V;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, V>) {
+        if self.is_root {
+            if let Some(v) = &self.value {
+                let v = v.clone();
+                for &c in &self.children.clone() {
+                    ctx.send(c as usize, v.clone());
+                }
+                self.sent = true;
+            }
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, V>, inbox: &[(u32, V)]) {
+        if !self.in_tree || self.sent {
+            return;
+        }
+        for (from, msg) in inbox {
+            if Some(*from) == self.parent {
+                self.value = Some(msg.clone());
+                for &c in &self.children.clone() {
+                    ctx.send(c as usize, msg.clone());
+                }
+                self.sent = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Broadcast `value` from the tree root to every tree node.
+///
+/// Returns each node's received value (`None` outside the tree) and metrics.
+pub fn broadcast<V: Payload>(
+    g: &Graph,
+    tree: &BfsTree,
+    value: V,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+) -> Result<(Vec<Option<V>>, Metrics), RunError> {
+    let mut net = Network::new(
+        g,
+        |id| BroadcastNode {
+            parent: tree.parent[id],
+            children: tree.children[id].clone(),
+            in_tree: tree.dist[id].is_some(),
+            is_root: id == tree.src,
+            value: (id == tree.src).then(|| value.clone()),
+            sent: false,
+        },
+        budget_bits,
+        engine,
+        seed,
+    );
+    net.run_until_quiet(tree.depth as u64 + 2)?;
+    let values = net.node_states().map(|s| s.value.clone()).collect();
+    Ok((values, net.metrics()))
+}
+
+// ---------------------------------------------------------------------------
+// Convergecast
+// ---------------------------------------------------------------------------
+
+/// Upcast message: a partial aggregate, or an explicit "nothing from my
+/// subtree" marker so parents can count completed children without blocking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Upcast<V> {
+    /// Subtree contributed nothing.
+    Empty,
+    /// Partial aggregate of the subtree.
+    Val(V),
+}
+
+impl<V: Payload> Payload for Upcast<V> {
+    fn encoded_bits(&self) -> u32 {
+        match self {
+            Upcast::Empty => 1,
+            Upcast::Val(v) => 1 + v.encoded_bits(),
+        }
+    }
+}
+
+struct ConvergeNode<V: Aggregate> {
+    parent: Option<u32>,
+    expected_children: usize,
+    in_tree: bool,
+    is_root: bool,
+    /// Own contribution (`None` = contributes nothing, e.g. filtered out).
+    own: Option<V>,
+    acc: Option<V>,
+    received: usize,
+    done: bool,
+    /// Set at the root when aggregation completes.
+    pub result: Option<V>,
+}
+
+impl<V: Aggregate> ConvergeNode<V> {
+    fn try_flush(&mut self, ctx: &mut Ctx<'_, Upcast<V>>) {
+        if self.done || !self.in_tree || self.received < self.expected_children {
+            return;
+        }
+        self.done = true;
+        let total = match (&self.acc, &self.own) {
+            (Some(a), Some(o)) => Some(a.combine(o)),
+            (Some(a), None) => Some(a.clone()),
+            (None, Some(o)) => Some(o.clone()),
+            (None, None) => None,
+        };
+        if self.is_root {
+            self.result = total;
+        } else if let Some(p) = self.parent {
+            // Always report upward, even with nothing to contribute, so the
+            // parent's child counter advances.
+            let msg = match total {
+                Some(v) => Upcast::Val(v),
+                None => Upcast::Empty,
+            };
+            ctx.send(p as usize, msg);
+        }
+    }
+}
+
+impl<V: Aggregate> Protocol for ConvergeNode<V> {
+    type Msg = Upcast<V>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Upcast<V>>) {
+        self.try_flush(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Upcast<V>>, inbox: &[(u32, Upcast<V>)]) {
+        for (_, msg) in inbox {
+            if let Upcast::Val(v) = msg {
+                self.acc = Some(match &self.acc {
+                    Some(a) => a.combine(v),
+                    None => v.clone(),
+                });
+            }
+            self.received += 1;
+        }
+        self.try_flush(ctx);
+    }
+}
+
+/// Convergecast: aggregate per-node contributions up to the root.
+///
+/// `contribute(id)` yields node `id`'s value (or `None` to contribute
+/// nothing — how threshold-filtered counts/sums are expressed). Subtlety: a
+/// node still *forwards* children's partials even when it contributes
+/// nothing itself.
+///
+/// Returns the root's aggregate (`None` if nobody contributed) and metrics.
+///
+/// # Panics
+/// Panics if the tree is not spanning. Algorithm 2 deliberately builds
+/// depth-limited trees (`min{D, ℓ}`); use [`convergecast_partial`] there —
+/// the caller then owns the correction for the unreached nodes (whose
+/// `p_ℓ = 0` the source can account for arithmetically).
+pub fn convergecast<V: Aggregate>(
+    g: &Graph,
+    tree: &BfsTree,
+    contribute: impl FnMut(usize) -> Option<V>,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+) -> Result<(Option<V>, Metrics), RunError> {
+    assert!(
+        tree.spanning(),
+        "convergecast requires a spanning BFS tree (reached {}/{}); \
+         use convergecast_partial for depth-limited trees",
+        tree.reached(),
+        tree.dist.len()
+    );
+    convergecast_partial(g, tree, contribute, budget_bits, engine, seed)
+}
+
+/// [`convergecast`] over a possibly depth-limited tree: only tree members
+/// participate; non-members neither contribute nor forward.
+pub fn convergecast_partial<V: Aggregate>(
+    g: &Graph,
+    tree: &BfsTree,
+    mut contribute: impl FnMut(usize) -> Option<V>,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+) -> Result<(Option<V>, Metrics), RunError> {
+    let mut net = Network::new(
+        g,
+        |id| ConvergeNode {
+            parent: tree.parent[id],
+            expected_children: tree.children[id].len(),
+            in_tree: tree.dist[id].is_some(),
+            is_root: id == tree.src,
+            own: tree.dist[id].is_some().then(|| contribute(id)).flatten(),
+            acc: None,
+            received: 0,
+            done: false,
+            result: None,
+        },
+        budget_bits,
+        engine,
+        seed,
+    );
+    net.run_until(|n| n.node(tree.src).done, tree.depth as u64 + 2)?;
+    let result = net.node(tree.src).result.clone();
+    Ok((result, net.metrics()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::build_bfs_tree;
+    use crate::message::olog_budget;
+    use lmt_graph::gen;
+
+    fn tree_for(g: &Graph, src: usize) -> BfsTree {
+        build_bfs_tree(g, src, u32::MAX, olog_budget(g.n(), 8), EngineKind::Sequential, 1)
+            .unwrap()
+            .0
+    }
+
+    #[test]
+    fn broadcast_reaches_all_in_depth_rounds() {
+        let g = gen::grid(4, 4);
+        let tree = tree_for(&g, 0);
+        let (vals, m) = broadcast(
+            &g,
+            &tree,
+            Wide::new(99, 8),
+            olog_budget(16, 8),
+            EngineKind::Sequential,
+            2,
+        )
+        .unwrap();
+        assert!(vals.iter().all(|v| v.map(|w| w.value) == Some(99)));
+        assert!(m.rounds <= tree.depth as u64 + 2);
+    }
+
+    #[test]
+    fn convergecast_sum_counts_nodes() {
+        let (g, _) = gen::barbell(3, 4);
+        let tree = tree_for(&g, 5);
+        let width = crate::message::id_bits(g.n()) * 2;
+        let (res, m) = convergecast(
+            &g,
+            &tree,
+            |_| Some(SumVal(Wide::new(1, width))),
+            olog_budget(g.n(), 8),
+            EngineKind::Sequential,
+            3,
+        )
+        .unwrap();
+        assert_eq!(res.unwrap().0.value, g.n() as u128);
+        assert!(m.rounds <= tree.depth as u64 + 2);
+    }
+
+    #[test]
+    fn convergecast_min_max() {
+        let g = gen::path(7);
+        let tree = tree_for(&g, 3);
+        let vals: Vec<u128> = vec![50, 20, 90, 10, 70, 30, 60];
+        let (mn, _) = convergecast(
+            &g,
+            &tree,
+            |id| Some(MinVal(Wide::new(vals[id], 8))),
+            olog_budget(7, 16),
+            EngineKind::Sequential,
+            4,
+        )
+        .unwrap();
+        assert_eq!(mn.unwrap().0.value, 10);
+        let (mx, _) = convergecast(
+            &g,
+            &tree,
+            |id| Some(MaxVal(Wide::new(vals[id], 8))),
+            olog_budget(7, 16),
+            EngineKind::Sequential,
+            4,
+        )
+        .unwrap();
+        assert_eq!(mx.unwrap().0.value, 90);
+    }
+
+    #[test]
+    fn filtered_contributions_still_forwarded() {
+        // Only leaves contribute; internal nodes must forward.
+        let g = gen::path(5);
+        let tree = tree_for(&g, 2); // root mid-path; leaves 0 and 4
+        let (res, _) = convergecast(
+            &g,
+            &tree,
+            |id| (id == 0 || id == 4).then(|| SumVal(Wide::new(5, 8))),
+            olog_budget(5, 16),
+            EngineKind::Sequential,
+            5,
+        )
+        .unwrap();
+        assert_eq!(res.unwrap().0.value, 10);
+    }
+
+    #[test]
+    fn empty_contribution_yields_none() {
+        let g = gen::cycle(4);
+        let tree = tree_for(&g, 0);
+        let (res, _) = convergecast::<SumVal>(
+            &g,
+            &tree,
+            |_| None,
+            olog_budget(4, 16),
+            EngineKind::Sequential,
+            6,
+        )
+        .unwrap();
+        assert!(res.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "spanning")]
+    fn non_spanning_tree_rejected() {
+        let g = gen::path(6);
+        let (tree, _) = build_bfs_tree(&g, 0, 2, olog_budget(6, 8), EngineKind::Sequential, 1)
+            .unwrap();
+        let _ = convergecast::<SumVal>(
+            &g,
+            &tree,
+            |_| None,
+            olog_budget(6, 16),
+            EngineKind::Sequential,
+            7,
+        );
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = gen::random_regular(48, 4, 8);
+        let tree = tree_for(&g, 0);
+        let run = |kind| {
+            convergecast(
+                &g,
+                &tree,
+                |id| Some(SumVal(Wide::new(id as u128, 16))),
+                olog_budget(48, 16),
+                kind,
+                9,
+            )
+            .unwrap()
+        };
+        let (a, ma) = run(EngineKind::Sequential);
+        let (b, mb) = run(EngineKind::Parallel);
+        assert_eq!(a.unwrap().0.value, b.unwrap().0.value);
+        assert_eq!(ma, mb);
+    }
+}

@@ -1,0 +1,275 @@
+//! **Algorithm 2 (LOCAL-MIXING-TIME)** — the 2-approximation under the
+//! Lemma 4 assumption `τ_s(β,ε)·φ(S) = o(1)` (Theorem 1).
+//!
+//! Per doubling length `ℓ = 1, 2, 4, …`:
+//!
+//! 1. build a BFS tree of depth `min{D, ℓ}` from the source (step 3);
+//! 2. run Algorithm 1 for `ℓ` rounds so every node holds `p̃_ℓ(u)` (step 4);
+//! 3. for each `R` on the `(1+ε)` grid (steps 5–12): every node locally
+//!    computes `x_u = |p̃_ℓ(u) − 1/R|` in fixed point, the source learns the
+//!    sum of the `R` smallest `x_u` by distributed binary search, and accepts
+//!    if the sum is `< 4ε` (the relaxed test of Lemma 3 that covers the
+//!    off-grid set sizes).
+//!
+//! Every phase is executed as real message passing on the CONGEST engine, so
+//! the returned metrics are the algorithm's true round/bit cost.
+//!
+//! Nodes beyond distance `ℓ` hold `p̃_ℓ = 0` and sit outside the depth-
+//! limited tree; their common difference value `1/R` is folded in
+//! arithmetically at the source (see `lmt_congest::binsearch::Outside` — the
+//! paper leaves this bookkeeping implicit).
+
+use crate::config::AlgoConfig;
+use lmt_congest::bfs::build_bfs_tree;
+use lmt_congest::binsearch::{sum_of_r_smallest, Outside};
+use lmt_congest::flood::estimate_rw_probability_kind;
+use lmt_congest::{Metrics, RunError};
+use lmt_graph::Graph;
+use lmt_util::fixed::FixedScale;
+
+/// Diagnostics for one doubling iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct IterationLog {
+    /// Walk length `ℓ` tried.
+    pub ell: u64,
+    /// Depth of the BFS tree built (`min{D, ℓ}` behaviour).
+    pub bfs_depth: u32,
+    /// Nodes inside the tree.
+    pub tree_reached: usize,
+    /// Set sizes inspected before acceptance / exhaustion.
+    pub sizes_checked: usize,
+    /// Rounds spent in this iteration (all phases).
+    pub rounds: u64,
+}
+
+/// Output of Algorithm 2.
+#[derive(Clone, Debug)]
+pub struct ApproxResult {
+    /// The accepted length — a 2-approximation of `τ_s(β, ε)` under the
+    /// Lemma 4 assumption.
+    pub ell: u64,
+    /// The set size `R` at which the `4ε` test passed.
+    pub accepted_size: usize,
+    /// The accepted sum `Σ_R-smallest x_u` (as `f64`, for reporting).
+    pub accepted_sum: f64,
+    /// Total CONGEST cost across all phases.
+    pub metrics: Metrics,
+    /// Per-iteration diagnostics.
+    pub iterations: Vec<IterationLog>,
+}
+
+/// Failure modes of the distributed algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AlgoError {
+    /// Substrate failure (budget violation or round-limit).
+    Congest(RunError),
+    /// No acceptance up to the configured maximum length (e.g. a simple walk
+    /// on a bipartite graph, or `max_len` set too low).
+    NotMixedWithin(u64),
+}
+
+impl From<RunError> for AlgoError {
+    fn from(e: RunError) -> Self {
+        AlgoError::Congest(e)
+    }
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::Congest(e) => write!(f, "CONGEST substrate error: {e}"),
+            AlgoError::NotMixedWithin(l) => {
+                write!(f, "no local-mixing acceptance up to length {l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+/// One grid pass (steps 5–12 of Algorithm 2) at a fixed length `ℓ`:
+/// returns `Some((R, sum))` on acceptance. Shared with the exact variant.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grid_check(
+    g: &Graph,
+    tree: &lmt_congest::bfs::BfsTree,
+    weights: &[lmt_util::fixed::FixedQ],
+    scale: FixedScale,
+    cfg: &AlgoConfig,
+    budget: u32,
+    seed: u64,
+    metrics: &mut Metrics,
+    sizes_checked: &mut usize,
+) -> Result<Option<(usize, f64)>, RunError> {
+    let n = g.n();
+    let four_eps = scale.from_f64(4.0 * cfg.eps);
+    let value_width = scale.payload_bits();
+    let outside_count = (n - tree.reached()) as u128;
+    for (gi, &r) in cfg.size_grid(n).iter().enumerate() {
+        *sizes_checked += 1;
+        let target = scale.recip(r);
+        // Local computation at each node: x_u = |p̃_ℓ(u) − 1/R|.
+        let xs: Vec<u128> = weights
+            .iter()
+            .map(|&w| scale.abs_diff(w, target).numerator())
+            .collect();
+        let outside = (outside_count > 0).then_some(Outside {
+            count: outside_count,
+            value: target.numerator(), // |0 − 1/R|
+        });
+        let (res, m) = sum_of_r_smallest(
+            g,
+            tree,
+            &xs,
+            r,
+            value_width,
+            cfg.tie,
+            outside,
+            budget,
+            cfg.engine,
+            seed.wrapping_add(gi as u64),
+        )?;
+        metrics.absorb(&m);
+        if res.sum < four_eps.numerator() {
+            return Ok(Some((r, res.sum as f64 / scale.denominator() as f64)));
+        }
+    }
+    Ok(None)
+}
+
+/// Run Algorithm 2 from `src`.
+pub fn local_mixing_time_approx(
+    g: &Graph,
+    src: usize,
+    cfg: &AlgoConfig,
+) -> Result<ApproxResult, AlgoError> {
+    cfg.validate();
+    assert!(src < g.n(), "source out of range");
+    let budget = cfg.budget_bits(g.n());
+    let mut metrics = Metrics::default();
+    let mut iterations = Vec::new();
+
+    let mut ell: u64 = 1;
+    while ell <= cfg.max_len {
+        let rounds_before = metrics.rounds;
+
+        // Step 3: BFS tree of depth min{D, ℓ}.
+        let depth_limit = u32::try_from(ell).unwrap_or(u32::MAX);
+        let (tree, m_bfs) = build_bfs_tree(
+            g,
+            src,
+            depth_limit,
+            budget,
+            cfg.engine,
+            cfg.seed.wrapping_add(ell),
+        )?;
+        metrics.absorb(&m_bfs);
+
+        // Step 4: Algorithm 1 for ℓ rounds.
+        let (weights, scale, m_flood) = estimate_rw_probability_kind(
+            g,
+            src,
+            ell,
+            cfg.c,
+            cfg.kind,
+            budget,
+            cfg.engine,
+            cfg.seed.wrapping_add(0x1000 + ell),
+        )?;
+        metrics.absorb(&m_flood);
+
+        // Steps 5–12: the (1+ε) size grid with the 4ε acceptance test.
+        let mut sizes_checked = 0;
+        let accepted = grid_check(
+            g,
+            &tree,
+            &weights,
+            scale,
+            cfg,
+            budget,
+            cfg.seed.wrapping_add(0x2000 + ell * 0x100),
+            &mut metrics,
+            &mut sizes_checked,
+        )?;
+
+        iterations.push(IterationLog {
+            ell,
+            bfs_depth: tree.depth,
+            tree_reached: tree.reached(),
+            sizes_checked,
+            rounds: metrics.rounds - rounds_before,
+        });
+
+        if let Some((r, sum)) = accepted {
+            return Ok(ApproxResult {
+                ell,
+                accepted_size: r,
+                accepted_sum: sum,
+                metrics,
+                iterations,
+            });
+        }
+        ell *= 2;
+    }
+    Err(AlgoError::NotMixedWithin(cfg.max_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn complete_graph_accepts_at_one_step() {
+        let g = gen::complete(32);
+        let cfg = AlgoConfig::new(4.0);
+        let r = local_mixing_time_approx(&g, 0, &cfg).unwrap();
+        assert_eq!(r.ell, 1);
+        assert!(r.accepted_sum < 4.0 * cfg.eps);
+        assert_eq!(r.iterations.len(), 1);
+    }
+
+    #[test]
+    fn regular_clique_ring_accepts_quickly() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 16);
+        let cfg = AlgoConfig::new(4.0);
+        let r = local_mixing_time_approx(&g, 5, &cfg).unwrap();
+        // Ground truth τ_s is 2–3 here; Algorithm 2 returns ≤ 2·τ on the
+        // doubling schedule.
+        assert!(r.ell <= 8, "ell = {}", r.ell);
+        assert!(r.accepted_size >= 16);
+    }
+
+    #[test]
+    fn rounds_metrics_accumulate_across_iterations() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let cfg = AlgoConfig::new(4.0);
+        let r = local_mixing_time_approx(&g, 0, &cfg).unwrap();
+        let per_iter: u64 = r.iterations.iter().map(|i| i.rounds).sum();
+        assert_eq!(per_iter, r.metrics.rounds);
+        assert!(r.metrics.rounds > 0);
+        assert!(r.metrics.messages > 0);
+    }
+
+    #[test]
+    fn max_len_exhaustion_reported() {
+        // β = 1 on a long path: τ is in the thousands, cap at 8.
+        let g = gen::path(64);
+        let mut cfg = AlgoConfig::new(1.0);
+        cfg.max_len = 8;
+        let err = local_mixing_time_approx(&g, 0, &cfg).unwrap_err();
+        assert_eq!(err, AlgoError::NotMixedWithin(8));
+    }
+
+    #[test]
+    fn parallel_engine_identical_result() {
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        let mut cfg = AlgoConfig::new(3.0);
+        let a = local_mixing_time_approx(&g, 2, &cfg).unwrap();
+        cfg.engine = lmt_congest::EngineKind::Parallel;
+        let b = local_mixing_time_approx(&g, 2, &cfg).unwrap();
+        assert_eq!(a.ell, b.ell);
+        assert_eq!(a.accepted_size, b.accepted_size);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

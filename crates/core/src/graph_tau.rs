@@ -1,0 +1,131 @@
+//! Graph-wide local mixing time `τ(β,ε) = max_v τ_v(β,ε)` (Definition 2,
+//! computed as footnote 6 describes).
+//!
+//! "One can compute the local mixing time with respect to the entire graph
+//! by taking the maximum of all the local mixing times starting from each
+//! vertex. This (in general) will incur an O(n)-factor additional overhead
+//! … However, depending on the input graph, one may be able to compute (or
+//! approximate) it significantly faster by sampling only a few source
+//! nodes."
+//!
+//! Both modes are provided: exhaustive (all sources) and sampled. Runs are
+//! sequential executions of Algorithm 2, so the aggregate `metrics.rounds`
+//! is the true total round cost of the footnote's procedure. T12 shows why
+//! sampling needs care: per-source τ can be sharply bimodal (ports vs
+//! interiors on clique chains).
+
+use crate::approx::{local_mixing_time_approx, AlgoError};
+use crate::config::AlgoConfig;
+use lmt_congest::Metrics;
+use lmt_graph::Graph;
+use lmt_util::rng::fork;
+use rand::seq::SliceRandom;
+
+/// Result of a graph-wide computation.
+#[derive(Clone, Debug)]
+pub struct GraphTauResult {
+    /// `max` of the per-source outputs — the graph's `τ(β,ε)` (up to the
+    /// Algorithm 2 approximation factor).
+    pub tau: u64,
+    /// A source attaining the maximum.
+    pub argmax: usize,
+    /// Per-source outputs `(source, ℓ)`.
+    pub per_source: Vec<(usize, u64)>,
+    /// Total CONGEST cost across all runs.
+    pub metrics: Metrics,
+}
+
+/// Graph-wide τ via Algorithm 2 from **every** node (footnote 6's O(n)
+/// overhead, paid explicitly).
+pub fn graph_local_mixing_time_approx(
+    g: &Graph,
+    cfg: &AlgoConfig,
+) -> Result<GraphTauResult, AlgoError> {
+    let sources: Vec<usize> = (0..g.n()).collect();
+    graph_local_mixing_time_from(g, cfg, &sources)
+}
+
+/// Graph-wide τ estimated from `samples` uniformly chosen sources.
+///
+/// A *lower bound* on the true max — see T12 for how badly a small sample
+/// can miss a rare worst class.
+pub fn graph_local_mixing_time_sampled(
+    g: &Graph,
+    cfg: &AlgoConfig,
+    samples: usize,
+) -> Result<GraphTauResult, AlgoError> {
+    assert!(samples >= 1, "need at least one sample");
+    let mut all: Vec<usize> = (0..g.n()).collect();
+    let mut rng = fork(cfg.seed, 0x5A3713);
+    all.shuffle(&mut rng);
+    all.truncate(samples.min(g.n()));
+    graph_local_mixing_time_from(g, cfg, &all)
+}
+
+/// Shared driver over an explicit source list.
+pub fn graph_local_mixing_time_from(
+    g: &Graph,
+    cfg: &AlgoConfig,
+    sources: &[usize],
+) -> Result<GraphTauResult, AlgoError> {
+    assert!(!sources.is_empty(), "need at least one source");
+    let mut metrics = Metrics::default();
+    let mut per_source = Vec::with_capacity(sources.len());
+    let mut best = (sources[0], 0u64);
+    for &s in sources {
+        let r = local_mixing_time_approx(g, s, cfg)?;
+        metrics.absorb(&r.metrics);
+        per_source.push((s, r.ell));
+        if r.ell > best.1 {
+            best = (s, r.ell);
+        }
+    }
+    Ok(GraphTauResult {
+        tau: best.1,
+        argmax: best.0,
+        per_source,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn complete_graph_tau_is_one_everywhere() {
+        let g = gen::complete(16);
+        let cfg = AlgoConfig::new(2.0);
+        let r = graph_local_mixing_time_approx(&g, &cfg).unwrap();
+        assert_eq!(r.tau, 1);
+        assert!(r.per_source.iter().all(|&(_, t)| t == 1));
+        assert_eq!(r.per_source.len(), 16);
+    }
+
+    #[test]
+    fn sampled_is_lower_bound_of_full() {
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        let cfg = AlgoConfig::new(3.0);
+        let full = graph_local_mixing_time_approx(&g, &cfg).unwrap();
+        let sampled = graph_local_mixing_time_sampled(&g, &cfg, 5).unwrap();
+        assert!(sampled.tau <= full.tau);
+        assert_eq!(sampled.per_source.len(), 5);
+        // Total rounds scale with the number of sources run.
+        assert!(sampled.metrics.rounds < full.metrics.rounds);
+    }
+
+    #[test]
+    fn argmax_is_consistent() {
+        let (g, _) = gen::ring_of_cliques_regular(3, 12);
+        let cfg = AlgoConfig::new(3.0);
+        let r = graph_local_mixing_time_approx(&g, &cfg).unwrap();
+        let reported = r
+            .per_source
+            .iter()
+            .find(|&&(s, _)| s == r.argmax)
+            .unwrap()
+            .1;
+        assert_eq!(reported, r.tau);
+    }
+}

@@ -1,0 +1,42 @@
+//! # lmt-core
+//!
+//! The paper's primary contribution, implemented on the `lmt-congest`
+//! substrate: distributed computation of the **local mixing time**
+//! `τ_s(β, ε)` of Molla & Pandurangan, *Local Mixing Time: Distributed
+//! Computation and Applications* (IPDPS 2018).
+//!
+//! * [`approx`] — **Algorithm 2** (LOCAL-MIXING-TIME): doubling walk lengths
+//!   `ℓ = 1, 2, 4, …`; per length, a depth-`min{D, ℓ}` BFS tree, Algorithm 1
+//!   probability flooding, and per set size `R = ⌈n/β⌉, ⌈(1+ε)n/β⌉, …, n`
+//!   the distributed sum-of-R-smallest check against the relaxed `4ε`
+//!   threshold (Lemma 3). Under `τ_s·φ(S) = o(1)` (Lemma 4) the output is a
+//!   2-approximation in `O(τ_s log² n log_{1+ε} β)` rounds (Theorem 1).
+//! * [`exact`] — the §3.2 variant: increment `ℓ` one step at a time, reusing
+//!   the flood state; exact `τ_s(β, ε)` (w.r.t. the algorithm's acceptance
+//!   test) in `O(τ_s · D̃ · log n · log_{1+ε} β)` rounds, `D̃ = min{τ_s, D}`
+//!   (Theorem 2), with no conductance assumption.
+//! * [`baselines`] — the comparison points of §1.2: a Molla–Pandurangan
+//!   \[18\]-style distributed *global* mixing-time estimator, and a Das Sarma
+//!   et al. \[10\]-style sampling estimator (see module docs for the modelling
+//!   choices).
+//! * [`general`] — extension (§5 open problem): a centralized heuristic for
+//!   local mixing time on **non-regular** graphs using the true
+//!   `π_S(v) = d(v)/µ(S)` target over sweep-candidate sets.
+//! * [`graph_tau`] — graph-wide `τ(β,ε) = max_v τ_v` (footnote 6):
+//!   exhaustive and sampled-source variants.
+//! * [`config`] — shared run configuration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod baselines;
+pub mod config;
+pub mod exact;
+pub mod general;
+pub mod graph_tau;
+
+pub use approx::{local_mixing_time_approx, ApproxResult};
+pub use config::AlgoConfig;
+pub use exact::{local_mixing_time_exact_distributed, ExactResult};
+pub use graph_tau::{graph_local_mixing_time_approx, graph_local_mixing_time_sampled};

@@ -1,0 +1,203 @@
+//! Applications of partial information spreading cited by the paper
+//! (§1, §4): full information spreading, leader election, and distributed
+//! maximum coverage \[4, 5\].
+
+use crate::pushpull::{Gossip, GossipMode};
+use lmt_graph::Graph;
+use lmt_util::rng::fork;
+use lmt_util::BitSet;
+use rand::Rng;
+
+/// Rounds for push–pull **full** information spreading (every node holds all
+/// `n` tokens), or `None` on cap exhaustion.
+pub fn rounds_to_full_spread(
+    g: &Graph,
+    mode: GossipMode,
+    seed: u64,
+    max_rounds: u64,
+) -> Option<u64> {
+    let n = g.n();
+    let mut gossip = Gossip::new(g, mode, seed);
+    gossip.run_until(|s| (0..n).all(|i| s.tokens_of(i).len() == n), max_rounds)
+}
+
+/// Leader election by min-id dissemination over push–pull.
+///
+/// Each node tracks the smallest id among the tokens it has seen; once the
+/// minimum token's dissemination is complete, all nodes agree. Returns
+/// `(leader, rounds)` when consensus is reached within the cap. Partial
+/// spreading already guarantees whp that the eventual leader's token is at
+/// `≥ n/β` nodes after `O(τ log n)` rounds; consensus needs its *full*
+/// spread — this is the \[5\]-style "full spreading via partial spreading
+/// phases" pipeline in its simplest form.
+pub fn elect_leader(
+    g: &Graph,
+    mode: GossipMode,
+    seed: u64,
+    max_rounds: u64,
+) -> Option<(usize, u64)> {
+    let n = g.n();
+    let mut gossip = Gossip::new(g, mode, seed);
+    // Token 0 … n−1 are the ids themselves; the leader is the global min id
+    // = 0 by construction, but nodes don't know that — they must *see* it.
+    let rounds = gossip.run_until(
+        |s| (0..n).all(|i| s.tokens_of(i).contains(0)),
+        max_rounds,
+    )?;
+    Some((0, rounds))
+}
+
+/// A maximum-coverage instance: each node owns a subset of a universe
+/// `0..universe`.
+#[derive(Clone, Debug)]
+pub struct CoverageInstance {
+    /// Universe size.
+    pub universe: usize,
+    /// `sets[v]` = the element set owned by node `v`.
+    pub sets: Vec<BitSet>,
+}
+
+impl CoverageInstance {
+    /// Random instance: each node holds `per_node` uniform elements.
+    pub fn random(n: usize, universe: usize, per_node: usize, seed: u64) -> Self {
+        assert!(universe > 0 && per_node <= universe);
+        let sets = (0..n)
+            .map(|v| {
+                let mut rng = fork(seed, v as u64);
+                let mut s = BitSet::new(universe);
+                while s.len() < per_node {
+                    s.insert(rng.gen_range(0..universe));
+                }
+                s
+            })
+            .collect();
+        CoverageInstance { universe, sets }
+    }
+}
+
+/// Greedy max-coverage over an explicit candidate collection: pick `k` sets
+/// maximizing marginal coverage. Returns `(chosen indices, covered count)`.
+pub fn greedy_max_coverage(
+    universe: usize,
+    candidates: &[(usize, &BitSet)],
+    k: usize,
+) -> (Vec<usize>, usize) {
+    let mut covered = BitSet::new(universe);
+    let mut chosen = Vec::new();
+    for _ in 0..k {
+        let mut best: Option<(usize, usize)> = None; // (candidate idx, gain)
+        for &(id, set) in candidates {
+            if chosen.contains(&id) {
+                continue;
+            }
+            let gain = set.iter().filter(|&e| !covered.contains(e)).count();
+            if best.is_none_or(|(_, bg)| gain > bg) {
+                best = Some((id, gain));
+            }
+        }
+        match best {
+            Some((id, gain)) if gain > 0 => {
+                let set = candidates.iter().find(|(i, _)| *i == id).unwrap().1;
+                covered.union_with(set);
+                chosen.push(id);
+            }
+            _ => break,
+        }
+    }
+    let total = covered.len();
+    (chosen, total)
+}
+
+/// Distributed maximum coverage via partial spreading (\[4\]'s application):
+/// run push–pull for `rounds`, then every node runs greedy max-coverage over
+/// the *owners whose tokens it received* (it has learned those nodes' sets).
+/// Returns each node's achieved coverage.
+pub fn distributed_max_coverage(
+    g: &Graph,
+    inst: &CoverageInstance,
+    k: usize,
+    rounds: u64,
+    seed: u64,
+) -> Vec<usize> {
+    assert_eq!(inst.sets.len(), g.n(), "one element set per node");
+    let mut gossip = Gossip::new(g, GossipMode::Local, seed);
+    gossip.run(rounds);
+    (0..g.n())
+        .map(|v| {
+            let candidates: Vec<(usize, &BitSet)> = gossip
+                .tokens_of(v)
+                .iter()
+                .map(|owner| (owner, &inst.sets[owner]))
+                .collect();
+            greedy_max_coverage(inst.universe, &candidates, k).1
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn full_spread_on_complete_graph_is_logarithmic() {
+        let g = gen::complete(64);
+        let r = rounds_to_full_spread(&g, GossipMode::Local, 1, 500).unwrap();
+        assert!(r <= 30, "rounds {r}");
+    }
+
+    #[test]
+    fn leader_is_global_minimum() {
+        let g = gen::random_regular(32, 4, 2);
+        let (leader, rounds) = elect_leader(&g, GossipMode::Local, 3, 2000).unwrap();
+        assert_eq!(leader, 0);
+        assert!(rounds > 0);
+    }
+
+    #[test]
+    fn greedy_covers_known_instance() {
+        // Universe {0..5}; sets: {0,1,2}, {2,3}, {4}, {0}.
+        let mk = |els: &[usize]| {
+            let mut s = BitSet::new(6);
+            for &e in els {
+                s.insert(e);
+            }
+            s
+        };
+        let sets = [mk(&[0, 1, 2]), mk(&[2, 3]), mk(&[4]), mk(&[0])];
+        let cands: Vec<(usize, &BitSet)> = sets.iter().enumerate().collect();
+        let (chosen, covered) = greedy_max_coverage(6, &cands, 2);
+        assert_eq!(chosen[0], 0); // biggest set first
+        assert_eq!(covered, 4); // {0,1,2} plus either {2,3} or {4}: gain 1
+        let (_, covered3) = greedy_max_coverage(6, &cands, 3);
+        assert_eq!(covered3, 5); // element 5 belongs to no set
+    }
+
+    #[test]
+    fn distributed_coverage_improves_with_rounds() {
+        let (g, _) = gen::barbell(2, 8);
+        let inst = CoverageInstance::random(g.n(), 64, 8, 11);
+        let early = distributed_max_coverage(&g, &inst, 3, 1, 7);
+        let late = distributed_max_coverage(&g, &inst, 3, 50, 7);
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        assert!(
+            mean(&late) >= mean(&early),
+            "more gossip must not hurt coverage: {} vs {}",
+            mean(&late),
+            mean(&early)
+        );
+    }
+
+    #[test]
+    fn coverage_with_full_knowledge_matches_centralized_greedy() {
+        let g = gen::complete(12);
+        let inst = CoverageInstance::random(12, 40, 6, 5);
+        // Enough rounds for full spreading on K_12.
+        let per_node = distributed_max_coverage(&g, &inst, 3, 100, 9);
+        let cands: Vec<(usize, &BitSet)> = inst.sets.iter().enumerate().collect();
+        let (_, central) = greedy_max_coverage(40, &cands, 3);
+        for (v, &c) in per_node.iter().enumerate() {
+            assert_eq!(c, central, "node {v} disagrees with centralized greedy");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! `(δ, β)`-partial information spreading checkers (Definition 3).
+
+use crate::pushpull::{Gossip, GossipMode};
+use lmt_graph::Graph;
+
+/// Coverage measurements of a gossip state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoverageStats {
+    /// `min_v |{u : token v reached u}|` — worst token dissemination.
+    pub min_token_reach: usize,
+    /// `min_u |tokens(u)|` — worst node collection.
+    pub min_node_tokens: usize,
+    /// Mean tokens per node.
+    pub mean_node_tokens: f64,
+}
+
+/// Compute coverage statistics.
+///
+/// Token reach is the column view of the node×token incidence: token `v`'s
+/// reach is the number of nodes holding `v`.
+pub fn coverage_stats(gossip: &Gossip<'_>) -> CoverageStats {
+    let sets = gossip.tokens();
+    let n = sets.len();
+    let mut reach = vec![0usize; n];
+    let mut min_node = usize::MAX;
+    let mut total = 0usize;
+    for set in sets {
+        let k = set.len();
+        min_node = min_node.min(k);
+        total += k;
+        for t in set.iter() {
+            reach[t] += 1;
+        }
+    }
+    CoverageStats {
+        min_token_reach: reach.iter().copied().min().unwrap_or(0),
+        min_node_tokens: min_node,
+        mean_node_tokens: total as f64 / n as f64,
+    }
+}
+
+/// Does the state satisfy the β-coverage part of Definition 3 (every token
+/// at ≥ n/β nodes **and** every node holding ≥ n/β tokens)?
+pub fn is_beta_spread(gossip: &Gossip<'_>, beta: f64) -> bool {
+    let n = gossip.tokens().len();
+    let need = ((n as f64 / beta).ceil() as usize).clamp(1, n);
+    let st = coverage_stats(gossip);
+    st.min_token_reach >= need && st.min_node_tokens >= need
+}
+
+/// Measure the number of push–pull rounds until β-spreading holds.
+///
+/// Returns `None` if `max_rounds` is exhausted first. This is the quantity
+/// Theorem 3 bounds by `O(τ(β,ε)·log n)` (LOCAL mode) and footnote 10 by
+/// `O(τ log n + n/β)` (CONGEST-limited mode).
+pub fn rounds_to_beta_spread(
+    g: &Graph,
+    beta: f64,
+    mode: GossipMode,
+    seed: u64,
+    max_rounds: u64,
+) -> Option<u64> {
+    let mut gossip = Gossip::new(g, mode, seed);
+    gossip.run_until(|s| is_beta_spread(s, beta), max_rounds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn initial_state_coverage() {
+        let g = gen::complete(8);
+        let gossip = Gossip::new(&g, GossipMode::Local, 1);
+        let st = coverage_stats(&gossip);
+        assert_eq!(st.min_token_reach, 1);
+        assert_eq!(st.min_node_tokens, 1);
+        assert_eq!(st.mean_node_tokens, 1.0);
+        assert!(is_beta_spread(&gossip, 8.0));
+        assert!(!is_beta_spread(&gossip, 4.0));
+    }
+
+    #[test]
+    fn complete_graph_spreads_fast() {
+        let g = gen::complete(32);
+        let r = rounds_to_beta_spread(&g, 2.0, GossipMode::Local, 3, 200).unwrap();
+        // Expander-like: O(log n) rounds.
+        assert!(r <= 20, "rounds {r}");
+    }
+
+    #[test]
+    fn barbell_partial_spread_beats_full_spread() {
+        // The paper's motivation: β-spreading on the β-barbell is fast (each
+        // clique saturates internally) while *full* spreading must cross
+        // every bridge.
+        let (g, _) = gen::barbell(4, 16);
+        let partial =
+            rounds_to_beta_spread(&g, 4.0, GossipMode::Local, 5, 20_000).unwrap();
+        let mut full = Gossip::new(&g, GossipMode::Local, 5);
+        let n = g.n();
+        let full_rounds = full
+            .run_until(|s| (0..n).all(|i| s.tokens_of(i).len() == n), 20_000)
+            .unwrap();
+        assert!(
+            partial * 3 < full_rounds,
+            "partial {partial} not ≪ full {full_rounds}"
+        );
+    }
+
+    #[test]
+    fn coverage_monotone_in_rounds() {
+        let g = gen::cycle(16);
+        let mut gossip = Gossip::new(&g, GossipMode::Local, 9);
+        let mut prev = coverage_stats(&gossip);
+        for _ in 0..30 {
+            gossip.step();
+            let cur = coverage_stats(&gossip);
+            assert!(cur.min_token_reach >= prev.min_token_reach);
+            assert!(cur.min_node_tokens >= prev.min_node_tokens);
+            assert!(cur.mean_node_tokens >= prev.mean_node_tokens - 1e-12);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn cap_exhaustion_is_none() {
+        let g = gen::path(32);
+        assert!(rounds_to_beta_spread(&g, 1.0, GossipMode::Local, 1, 1).is_none());
+    }
+}

@@ -1,0 +1,230 @@
+//! The synchronous push–pull gossip process.
+//!
+//! Every node starts with one distinct token (its own id). In each round,
+//! every node `i` picks a uniformly random neighbor `j` and **exchanges
+//! information** with it (§4: "chooses a random neighbor to exchange
+//! information with"):
+//!
+//! * [`GossipMode::Local`] — the LOCAL-model process of the paper's
+//!   analysis: the pair merges token sets in both directions, with no limit
+//!   on tokens per edge.
+//! * [`GossipMode::CongestLimited`] — footnote 10's regime: along each
+//!   contact, one (uniformly random missing-aware) token travels per
+//!   direction per round, so a node needs `Ω(n/(βd))` rounds to collect
+//!   `n/β` tokens and the spreading bound becomes `O(τ log n + n/β)`.
+//!
+//! Contacts are sampled once per round for all nodes (both the caller's push
+//! and the partner's pull happen on the sampled contact edge, matching the
+//! standard synchronous push–pull formulation).
+
+use lmt_graph::Graph;
+use lmt_util::rng::RngFanout;
+use lmt_util::BitSet;
+use rand::seq::IteratorRandom;
+use rand::Rng;
+
+/// LOCAL-model or CONGEST-limited exchange (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GossipMode {
+    /// Unbounded tokens per contact (the paper's §4 analysis model).
+    #[default]
+    Local,
+    /// One token per direction per contact per round (footnote 10).
+    CongestLimited,
+}
+
+/// The gossip process state.
+pub struct Gossip<'g> {
+    g: &'g Graph,
+    mode: GossipMode,
+    seed: u64,
+    /// `tokens[i]` = set of token ids node `i` currently holds.
+    tokens: Vec<BitSet>,
+    round: u64,
+    /// Total token transmissions so far (one token over one edge direction).
+    pub transmissions: u64,
+}
+
+impl<'g> Gossip<'g> {
+    /// Initialize: node `i` holds exactly token `i`.
+    ///
+    /// # Panics
+    /// Panics if any node is isolated (no neighbor to contact).
+    pub fn new(g: &'g Graph, mode: GossipMode, seed: u64) -> Self {
+        for u in 0..g.n() {
+            assert!(g.degree(u) > 0, "gossip requires no isolated nodes (node {u})");
+        }
+        let tokens = (0..g.n())
+            .map(|i| {
+                let mut s = BitSet::new(g.n());
+                s.insert(i);
+                s
+            })
+            .collect();
+        Gossip {
+            g,
+            mode,
+            seed,
+            tokens,
+            round: 0,
+            transmissions: 0,
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Token set of node `i`.
+    pub fn tokens_of(&self, i: usize) -> &BitSet {
+        &self.tokens[i]
+    }
+
+    /// All token sets.
+    pub fn tokens(&self) -> &[BitSet] {
+        &self.tokens
+    }
+
+    /// Execute one synchronous round.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let n = self.g.n();
+        // Sample every node's contact for this round (deterministic per
+        // (seed, node, round) so runs are reproducible).
+        let round_fan = RngFanout::new(self.seed ^ self.round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let contacts: Vec<usize> = (0..n)
+            .map(|i| {
+                let mut rng = round_fan.node(i);
+                let d = self.g.degree(i);
+                self.g.neighbor(i, rng.gen_range(0..d))
+            })
+            .collect();
+        match self.mode {
+            GossipMode::Local => {
+                // Merge full sets across each contact (push + pull).
+                for (i, &j) in contacts.iter().enumerate() {
+                    // push i -> j
+                    let (a, b) = two_mut(&mut self.tokens, i, j);
+                    self.transmissions += b.union_with(a) as u64;
+                    // pull j -> i
+                    self.transmissions += a.union_with(b) as u64;
+                }
+            }
+            GossipMode::CongestLimited => {
+                // One random useful token per direction per contact.
+                for (i, &j) in contacts.iter().enumerate() {
+                    let mut rng = round_fan.aux(i as u64);
+                    let (a, b) = two_mut(&mut self.tokens, i, j);
+                    // push: a random token of i that j misses.
+                    if let Some(t) = a.iter().filter(|&t| !b.contains(t)).choose(&mut rng) {
+                        b.insert(t);
+                        self.transmissions += 1;
+                    }
+                    // pull: a random token of j that i misses.
+                    if let Some(t) = b.iter().filter(|&t| !a.contains(t)).choose(&mut rng) {
+                        a.insert(t);
+                        self.transmissions += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `k` rounds.
+    pub fn run(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Run until `pred(self)` holds (checked after each round) or the cap;
+    /// returns the rounds used, or `None` on cap exhaustion.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&Self) -> bool, max_rounds: u64) -> Option<u64> {
+        if pred(self) {
+            return Some(self.round);
+        }
+        for _ in 0..max_rounds {
+            self.step();
+            if pred(self) {
+                return Some(self.round);
+            }
+        }
+        None
+    }
+}
+
+/// Disjoint mutable borrow of two vector slots.
+fn two_mut<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "contact with self is impossible on simple graphs");
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &mut b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &mut a[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn tokens_only_grow_and_spread() {
+        let g = gen::complete(16);
+        let mut gp = Gossip::new(&g, GossipMode::Local, 1);
+        let mut prev: Vec<usize> = (0..16).map(|i| gp.tokens_of(i).len()).collect();
+        for _ in 0..10 {
+            gp.step();
+            let cur: Vec<usize> = (0..16).map(|i| gp.tokens_of(i).len()).collect();
+            for (p, c) in prev.iter().zip(&cur) {
+                assert!(c >= p, "token sets must be monotone");
+            }
+            prev = cur;
+        }
+        // Complete graph: everyone has everything long before 10·log n.
+        assert!(prev.iter().all(|&c| c == 16));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = gen::cycle(12);
+        let mut a = Gossip::new(&g, GossipMode::Local, 7);
+        let mut b = Gossip::new(&g, GossipMode::Local, 7);
+        a.run(20);
+        b.run(20);
+        for i in 0..12 {
+            assert_eq!(a.tokens_of(i), b.tokens_of(i));
+        }
+        assert_eq!(a.transmissions, b.transmissions);
+    }
+
+    #[test]
+    fn congest_limited_sends_at_most_two_per_contact() {
+        let g = gen::complete(8);
+        let mut gp = Gossip::new(&g, GossipMode::CongestLimited, 3);
+        gp.step();
+        // 8 contacts, ≤ 2 transmissions each.
+        assert!(gp.transmissions <= 16, "transmissions {}", gp.transmissions);
+    }
+
+    #[test]
+    fn congest_limited_eventually_completes() {
+        let g = gen::complete(8);
+        let mut gp = Gossip::new(&g, GossipMode::CongestLimited, 5);
+        let done =
+            gp.run_until(|s| (0..8).all(|i| s.tokens_of(i).len() == 8), 2000);
+        assert!(done.is_some());
+    }
+
+    #[test]
+    fn run_until_cap_returns_none() {
+        let g = gen::path(16);
+        let mut gp = Gossip::new(&g, GossipMode::Local, 2);
+        assert!(gp
+            .run_until(|s| (0..16).all(|i| s.tokens_of(i).len() == 16), 2)
+            .is_none());
+    }
+}

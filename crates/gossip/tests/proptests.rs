@@ -1,0 +1,91 @@
+//! Property tests for the gossip layer.
+
+use lmt_gossip::apps::{greedy_max_coverage, CoverageInstance};
+use lmt_gossip::coverage::{coverage_stats, is_beta_spread};
+use lmt_gossip::{Gossip, GossipMode};
+use lmt_graph::{gen, props};
+use lmt_util::BitSet;
+use proptest::prelude::*;
+
+fn connected_graph() -> impl Strategy<Value = lmt_graph::Graph> {
+    (4usize..24, 0.25f64..0.9, any::<u64>())
+        .prop_map(|(n, p, seed)| gen::erdos_renyi(n, p, seed))
+        .prop_filter("connected, no isolated", |g| {
+            props::is_connected(g) && (0..g.n()).all(|u| g.degree(u) > 0)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Token conservation: node i always holds its own token; total token
+    /// incidences only grow; every held token id is a valid node.
+    #[test]
+    fn token_set_invariants(g in connected_graph(), seed in any::<u64>(), rounds in 1u64..40) {
+        let n = g.n();
+        let mut gossip = Gossip::new(&g, GossipMode::Local, seed);
+        for _ in 0..rounds {
+            gossip.step();
+        }
+        for i in 0..n {
+            let set = gossip.tokens_of(i);
+            prop_assert!(set.contains(i), "node {i} lost its own token");
+            prop_assert!(set.iter().all(|t| t < n));
+        }
+    }
+
+    /// LOCAL mode dominates CONGEST-limited mode pointwise in coverage at
+    /// equal rounds (same seed ⇒ same contact sequence).
+    #[test]
+    fn local_dominates_congest(g in connected_graph(), seed in any::<u64>(), rounds in 1u64..25) {
+        let mut a = Gossip::new(&g, GossipMode::Local, seed);
+        let mut b = Gossip::new(&g, GossipMode::CongestLimited, seed);
+        a.run(rounds);
+        b.run(rounds);
+        let sa = coverage_stats(&a);
+        let sb = coverage_stats(&b);
+        prop_assert!(sa.mean_node_tokens >= sb.mean_node_tokens - 1e-12);
+    }
+
+    /// β-spreading is monotone in β: spread at β implies spread at β' ≥ β.
+    #[test]
+    fn beta_spread_monotone(g in connected_graph(), seed in any::<u64>(), rounds in 0u64..30) {
+        let mut gossip = Gossip::new(&g, GossipMode::Local, seed);
+        gossip.run(rounds);
+        if is_beta_spread(&gossip, 4.0) {
+            prop_assert!(is_beta_spread(&gossip, 8.0));
+            prop_assert!(is_beta_spread(&gossip, 4.5));
+        }
+    }
+
+    /// Greedy max-coverage never loses to a single best set and never
+    /// exceeds the universe.
+    #[test]
+    fn greedy_sandwich(n in 2usize..12, universe in 4usize..40, per in 1usize..8, k in 1usize..5, seed in any::<u64>()) {
+        let per = per.min(universe);
+        let inst = CoverageInstance::random(n, universe, per, seed);
+        let cands: Vec<(usize, &BitSet)> = inst.sets.iter().enumerate().collect();
+        let (chosen, covered) = greedy_max_coverage(universe, &cands, k);
+        let best_single = inst.sets.iter().map(|s| s.len()).max().unwrap();
+        prop_assert!(covered >= best_single, "greedy's first pick is the largest set");
+        prop_assert!(covered <= universe);
+        prop_assert!(chosen.len() <= k);
+        // Chosen are distinct.
+        let mut c = chosen.clone();
+        c.sort_unstable();
+        c.dedup();
+        prop_assert_eq!(c.len(), chosen.len());
+    }
+
+    /// Deterministic replay: same seed, same state after any round count.
+    #[test]
+    fn deterministic_replay(g in connected_graph(), seed in any::<u64>(), rounds in 1u64..30) {
+        let mut a = Gossip::new(&g, GossipMode::CongestLimited, seed);
+        let mut b = Gossip::new(&g, GossipMode::CongestLimited, seed);
+        a.run(rounds);
+        b.run(rounds);
+        for i in 0..g.n() {
+            prop_assert_eq!(a.tokens_of(i), b.tokens_of(i));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Edge-list construction of [`Graph`].
+
+use crate::Graph;
+
+/// Accumulates undirected edges and builds a validated CSR [`Graph`].
+///
+/// Duplicate edges are merged; self-loops are rejected at insert time (the
+/// paper works with simple graphs; laziness of walks is modelled in
+/// `lmt-walks`, not with structural self-loops).
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    /// Directed half-edges; each `add_edge` pushes both directions.
+    arcs: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph on nodes `0..n`.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "node count exceeds u32 range");
+        GraphBuilder {
+            n,
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or a self-loop.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        assert_ne!(u, v, "self-loop at {u} rejected (simple graphs only)");
+        self.arcs.push((u as u32, v as u32));
+        self.arcs.push((v as u32, u as u32));
+        self
+    }
+
+    /// Add every edge from an iterator of pairs.
+    pub fn extend_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, it: I) -> &mut Self {
+        for (u, v) in it {
+            self.add_edge(u, v);
+        }
+        self
+    }
+
+    /// Reserve capacity for `extra` more undirected edges.
+    pub fn reserve(&mut self, extra: usize) -> &mut Self {
+        self.arcs.reserve(2 * extra);
+        self
+    }
+
+    /// Finish: sort, deduplicate, and assemble CSR.
+    pub fn build(mut self) -> Graph {
+        self.arcs.sort_unstable();
+        self.arcs.dedup();
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        let mut neighbors = Vec::with_capacity(self.arcs.len());
+        offsets.push(0);
+        let mut idx = 0;
+        for u in 0..self.n as u32 {
+            while idx < self.arcs.len() && self.arcs[idx].0 == u {
+                neighbors.push(self.arcs[idx].1);
+                idx += 1;
+            }
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(idx, self.arcs.len());
+        Graph::from_raw(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_merges_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn extend_edges_builds_path() {
+        let mut b = GraphBuilder::new(4);
+        b.extend_edges([(0, 1), (1, 2), (2, 3)]);
+        let g = b.build();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_rejected() {
+        GraphBuilder::new(2).add_edge(0, 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Elementary families: complete, path, cycle, star, complete bipartite.
+
+use crate::{Graph, GraphBuilder};
+
+/// Complete graph `K_n` (§2.3(a): `τ_s = τ_mix = O(1)`).
+///
+/// # Panics
+/// Panics if `n < 2` (a single node has no walk to mix).
+pub fn complete(n: usize) -> Graph {
+    assert!(n >= 2, "complete graph needs n ≥ 2");
+    let mut b = GraphBuilder::new(n);
+    b.reserve(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Path `P_n` on nodes `0 — 1 — … — n−1` (§2.3(c): `τ_mix = O(n²)`,
+/// `τ_s = O(n²/β²)`).
+pub fn path(n: usize) -> Graph {
+    assert!(n >= 2, "path needs n ≥ 2");
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges((0..n - 1).map(|i| (i, i + 1)));
+    b.build()
+}
+
+/// Cycle `C_n`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n ≥ 3");
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges((0..n).map(|i| (i, (i + 1) % n)));
+    b.build()
+}
+
+/// Star: node 0 is the hub, `1..n` are leaves.
+pub fn star(n: usize) -> Graph {
+    assert!(n >= 2, "star needs n ≥ 2");
+    let mut b = GraphBuilder::new(n);
+    b.extend_edges((1..n).map(|v| (0, v)));
+    b.build()
+}
+
+/// Complete bipartite `K_{a,b}`: parts `0..a` and `a..a+b`.
+pub fn complete_bipartite(a: usize, b_count: usize) -> Graph {
+    assert!(a >= 1 && b_count >= 1, "both parts must be non-empty");
+    let mut b = GraphBuilder::new(a + b_count);
+    for u in 0..a {
+        for v in a..(a + b_count) {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_is_regular_n_minus_1() {
+        let g = complete(6);
+        assert_eq!(g.m(), 15);
+        for u in 0..6 {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn path_endpoints_degree_1() {
+        let g = path(7);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(6), 1);
+        assert_eq!(g.degree(3), 2);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(5);
+        assert_eq!(g.m(), 5);
+        for u in 0..5 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn star_hub_degree() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.degree(5), 1);
+    }
+
+    #[test]
+    fn bipartite_degrees() {
+        let g = complete_bipartite(2, 3);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 6);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 2);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 2")]
+    fn tiny_complete_rejected() {
+        let _ = complete(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Graph generators.
+//!
+//! Families the paper analyses in §2.3 — complete graphs, d-regular
+//! expanders (via random regular graphs), paths, and the **β-barbell** of
+//! Figure 1 — plus the "similar graph structures" it mentions (rings/paths of
+//! cliques or expanders connected by single edges) and standard families used
+//! by the test-suite.
+//!
+//! All generators produce validated simple [`Graph`]s; randomized generators
+//! take an explicit seed for reproducibility.
+
+mod basic;
+mod cliques;
+mod random;
+mod structured;
+
+pub use basic::{complete, complete_bipartite, cycle, path, star};
+pub use cliques::{
+    barbell, dumbbell, lollipop, ring_of_cliques, ring_of_cliques_regular, BarbellSpec,
+};
+pub use random::{erdos_renyi, random_regular, ring_of_expanders};
+pub use structured::{grid, hypercube, torus};
+
+use crate::Graph;
+
+/// A named graph family instance, used by the experiment harness to sweep
+/// workloads uniformly.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Human-readable name, e.g. `barbell(beta=8,k=64)`.
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Suggested source node for per-source measurements.
+    pub source: usize,
+}
+
+impl Workload {
+    /// Wrap a graph with a name and source.
+    pub fn new(name: impl Into<String>, graph: Graph, source: usize) -> Self {
+        let w = Workload {
+            name: name.into(),
+            graph,
+            source,
+        };
+        assert!(w.source < w.graph.n(), "workload source out of range");
+        w
+    }
+}

@@ -1,0 +1,232 @@
+//! Randomized families: random d-regular graphs (the paper's stand-in for
+//! d-regular expanders), Erdős–Rényi, and composite expander chains.
+
+use crate::{Graph, GraphBuilder};
+use lmt_util::rng::fork;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Random `d`-regular simple graph on `n` nodes via the configuration model
+/// with **edge-swap repair**.
+///
+/// Whole-matching retries are hopeless for moderate degrees (a pairing is
+/// simple with probability `≈ e^{−(d²−1)/4}`, i.e. ~10⁻⁴ at `d = 6`), so
+/// after the initial random pairing we repair each self-loop / duplicate by
+/// 2-swapping it against a random healthy pair — each accepted swap strictly
+/// reduces the defect count, so the loop terminates quickly in practice.
+///
+/// A random d-regular graph is an expander with high probability, which is
+/// exactly how §2.3(b) uses the family (`τ_s = τ_mix = Θ(log n)`).
+///
+/// # Panics
+/// Panics if `n·d` is odd, `d ≥ n`, or repair stalls.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d >= 1, "random_regular: d must be ≥ 1");
+    assert!(d < n, "random_regular: need d < n");
+    assert!((n * d).is_multiple_of(2), "random_regular: n·d must be even");
+    if d == n - 1 {
+        // The unique (n−1)-regular graph is K_n; the swap repair has zero
+        // slack there (every pair must appear exactly once).
+        return crate::gen::complete(n);
+    }
+    let mut rng = fork(seed, 0xD_1234);
+    // Stubs: node u appears d times; pair consecutively after a shuffle.
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for u in 0..n as u32 {
+        for _ in 0..d {
+            stubs.push(u);
+        }
+    }
+    stubs.shuffle(&mut rng);
+    let mut pairs: Vec<(u32, u32)> = stubs.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+
+    use std::collections::HashMap;
+    let norm = |a: u32, b: u32| (a.min(b), a.max(b));
+    let mut multiplicity: HashMap<(u32, u32), u32> = HashMap::with_capacity(pairs.len());
+    for &(a, b) in &pairs {
+        *multiplicity.entry(norm(a, b)).or_insert(0) += 1;
+    }
+    let is_bad = |(a, b): (u32, u32), mult: &HashMap<(u32, u32), u32>| {
+        a == b || mult[&norm(a, b)] > 1
+    };
+
+    let mut guard = 0usize;
+    loop {
+        let bad: Vec<usize> = (0..pairs.len())
+            .filter(|&i| is_bad(pairs[i], &multiplicity))
+            .collect();
+        if bad.is_empty() {
+            break;
+        }
+        guard += 1;
+        assert!(
+            guard <= 200,
+            "random_regular({n},{d}): repair stalled with {} defects",
+            bad.len()
+        );
+        for i in bad {
+            if !is_bad(pairs[i], &multiplicity) {
+                continue; // fixed as a side effect of an earlier swap
+            }
+            for _ in 0..200 {
+                let j = rng.gen_range(0..pairs.len());
+                if j == i {
+                    continue;
+                }
+                let (a, b) = pairs[i];
+                let (c, e) = pairs[j];
+                // Propose (a,b),(c,e) → (a,e),(c,b).
+                if a == e || c == b {
+                    continue;
+                }
+                let new1 = norm(a, e);
+                let new2 = norm(c, b);
+                if new1 == new2
+                    || multiplicity.get(&new1).copied().unwrap_or(0) > 0
+                    || multiplicity.get(&new2).copied().unwrap_or(0) > 0
+                {
+                    continue;
+                }
+                // Accept: defect at i disappears; j stays simple.
+                *multiplicity.get_mut(&norm(a, b)).unwrap() -= 1;
+                *multiplicity.get_mut(&norm(c, e)).unwrap() -= 1;
+                *multiplicity.entry(new1).or_insert(0) += 1;
+                *multiplicity.entry(new2).or_insert(0) += 1;
+                pairs[i] = (a, e);
+                pairs[j] = (c, b);
+                break;
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in &pairs {
+        b.add_edge(u as usize, v as usize);
+    }
+    let g = b.build();
+    assert_eq!(g.m(), n * d / 2, "repair produced a non-simple multigraph");
+    g
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "erdos_renyi: p out of [0,1]");
+    let mut rng = fork(seed, 0xE_5678);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+/// A path (or ring) of `beta` random `d`-regular expanders of `k` nodes each,
+/// consecutive blocks joined by a single bridge edge — the "class of graphs
+/// with β equal-sized connected components, which have very small mixing time
+/// such as expanders, that are connected via a path or ring" from §2.3(d).
+///
+/// `close_ring` selects ring (true) vs path (false) topology.
+pub fn ring_of_expanders(beta: usize, k: usize, d: usize, seed: u64, close_ring: bool) -> Graph {
+    assert!(beta >= 2, "ring_of_expanders needs β ≥ 2");
+    assert!(k > d && d >= 3, "ring_of_expanders needs k > d ≥ 3");
+    let n = beta * k;
+    let mut b = GraphBuilder::new(n);
+    for i in 0..beta {
+        let block = random_regular(k, d, fork(seed, i as u64).gen());
+        let base = i * k;
+        for (u, v) in block.edges() {
+            b.add_edge(base + u, base + v);
+        }
+    }
+    let links = if close_ring { beta } else { beta - 1 };
+    for i in 0..links {
+        let from = i * k; // first node of block i
+        let to = ((i + 1) % beta) * k + k - 1; // last node of next block
+        b.add_edge(from, to);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::components;
+
+    #[test]
+    fn random_regular_is_regular() {
+        let g = random_regular(50, 4, 7);
+        assert_eq!(g.n(), 50);
+        assert_eq!(g.m(), 100);
+        for u in 0..50 {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn random_regular_deterministic_in_seed() {
+        let a = random_regular(30, 3, 42);
+        let b = random_regular(30, 3, 42);
+        let c = random_regular(30, 3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_regular_d3_usually_connected() {
+        // d ≥ 3 random regular graphs are connected whp.
+        let g = random_regular(200, 3, 1);
+        let (_, count) = components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_total_degree_rejected() {
+        let _ = random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn full_degree_gives_complete_graph() {
+        let g = random_regular(6, 5, 3);
+        assert_eq!(g.m(), 15);
+        for u in 0..6 {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn near_full_degree_repairable() {
+        // d = n−2 still has swap slack; must not stall.
+        let g = random_regular(8, 6, 11);
+        assert_eq!(lmt_util_regularity_check(&g), Some(6));
+    }
+
+    fn lmt_util_regularity_check(g: &crate::Graph) -> Option<usize> {
+        crate::props::regularity(g)
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let empty = erdos_renyi(10, 0.0, 0);
+        assert_eq!(empty.m(), 0);
+        let full = erdos_renyi(10, 1.0, 0);
+        assert_eq!(full.m(), 45);
+    }
+
+    #[test]
+    fn expander_chain_structure() {
+        let g = ring_of_expanders(3, 20, 4, 9, false);
+        assert_eq!(g.n(), 60);
+        // 3 blocks of 40 edges + 2 bridges.
+        assert_eq!(g.m(), 3 * 40 + 2);
+        let (_, count) = components(&g);
+        assert_eq!(count, 1);
+
+        let ring = ring_of_expanders(3, 20, 4, 9, true);
+        assert_eq!(ring.m(), 3 * 40 + 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Lattice-like families: grid, torus, hypercube.
+
+use crate::{Graph, GraphBuilder};
+
+/// `rows × cols` grid; node `(r, c)` has id `r·cols + c`.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2, "grid too small");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            if c + 1 < cols {
+                b.add_edge(id, id + 1);
+            }
+            if r + 1 < rows {
+                b.add_edge(id, id + cols);
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` torus (wrap-around grid). 4-regular when both dims ≥ 3.
+pub fn torus(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus needs both dims ≥ 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = r * cols + c;
+            let right = r * cols + (c + 1) % cols;
+            let down = ((r + 1) % rows) * cols + c;
+            b.add_edge(id, right);
+            b.add_edge(id, down);
+        }
+    }
+    b.build()
+}
+
+/// `d`-dimensional hypercube on `2^d` nodes; ids differ in one bit per edge.
+///
+/// Note: bipartite — use lazy walks for mixing computations on it.
+pub fn hypercube(d: u32) -> Graph {
+    assert!((1..=20).contains(&d), "hypercube dimension out of range");
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for bit in 0..d {
+            let v = u ^ (1usize << bit);
+            if u < v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::components;
+
+    #[test]
+    fn grid_corner_degrees() {
+        let g = grid(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(1), 3); // edge
+        assert_eq!(g.degree(5), 4); // interior
+        assert_eq!(g.m(), 3 * 3 + 4 * 2); // rows*(cols-1) + cols*(rows-1)
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus(3, 5);
+        for u in 0..g.n() {
+            assert_eq!(g.degree(u), 4);
+        }
+        assert_eq!(g.m(), 2 * 15);
+    }
+
+    #[test]
+    fn hypercube_is_d_regular_connected() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        for u in 0..16 {
+            assert_eq!(g.degree(u), 4);
+        }
+        let (_, c) = components(&g);
+        assert_eq!(c, 1);
+        assert!(g.has_edge(0b0000, 0b1000));
+        assert!(!g.has_edge(0b0000, 0b1100));
+    }
+
+    #[test]
+    fn one_dim_grid_is_path() {
+        let g = grid(1, 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Plain-text edge-list persistence.
+//!
+//! Format: first non-comment line `n m`, then `m` lines `u v`. `#` starts a
+//! comment. This keeps workload files human-readable and diff-able without
+//! pulling a serialization framework into the graph crate.
+
+use crate::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Serialize to the edge-list text format.
+pub fn to_string(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# lmt-graph edge list");
+    let _ = writeln!(out, "{} {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Parse the edge-list text format.
+pub fn from_str(text: &str) -> Result<Graph, String> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or("missing header line")?;
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or("missing n")?
+        .parse()
+        .map_err(|e| format!("bad n: {e}"))?;
+    let m: usize = it
+        .next()
+        .ok_or("missing m")?
+        .parse()
+        .map_err(|e| format!("bad m: {e}"))?;
+    let mut b = GraphBuilder::new(n);
+    let mut count = 0;
+    for line in lines {
+        let mut it = line.split_whitespace();
+        let u: usize = it
+            .next()
+            .ok_or_else(|| format!("bad edge line: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad u in {line:?}: {e}"))?;
+        let v: usize = it
+            .next()
+            .ok_or_else(|| format!("bad edge line: {line}"))?
+            .parse()
+            .map_err(|e| format!("bad v in {line:?}: {e}"))?;
+        if u >= n || v >= n {
+            return Err(format!("edge ({u},{v}) out of range n={n}"));
+        }
+        if u == v {
+            return Err(format!("self-loop at {u}"));
+        }
+        b.add_edge(u, v);
+        count += 1;
+    }
+    if count != m {
+        return Err(format!("header claims {m} edges, file has {count}"));
+    }
+    let g = b.build();
+    if g.m() != m {
+        return Err(format!("duplicate edges: {m} declared, {} distinct", g.m()));
+    }
+    Ok(g)
+}
+
+/// Write a graph to `path`.
+pub fn save(g: &Graph, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_string(g))
+}
+
+/// Read a graph from `path`.
+pub fn load(path: &Path) -> std::io::Result<Graph> {
+    let text = std::fs::read_to_string(path)?;
+    from_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn roundtrip() {
+        let g = gen::grid(3, 3);
+        let text = to_string(&g);
+        let back = from_str(&text).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ok() {
+        let text = "# hello\n\n3 2\n0 1\n# mid comment\n1 2\n";
+        let g = from_str(text).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn error_on_wrong_count() {
+        let text = "3 5\n0 1\n";
+        assert!(from_str(text).unwrap_err().contains("claims 5"));
+    }
+
+    #[test]
+    fn error_on_self_loop() {
+        let text = "3 1\n1 1\n";
+        assert!(from_str(text).unwrap_err().contains("self-loop"));
+    }
+
+    #[test]
+    fn error_on_out_of_range() {
+        let text = "3 1\n0 7\n";
+        assert!(from_str(text).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn error_on_duplicates() {
+        let text = "3 2\n0 1\n1 0\n";
+        assert!(from_str(text).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = gen::cycle(5);
+        let dir = std::env::temp_dir().join("lmt_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("c5.edges");
+        save(&g, &p).unwrap();
+        let back = load(&p).unwrap();
+        assert_eq!(g, back);
+    }
+}

@@ -1,0 +1,39 @@
+//! # lmt-graph
+//!
+//! Graph substrate for the reproduction of Molla & Pandurangan, *Local Mixing
+//! Time: Distributed Computation and Applications* (IPDPS 2018).
+//!
+//! The paper's algorithms run on undirected, unweighted, connected graphs in
+//! the CONGEST model; its calibration section (§2.3) compares local and
+//! global mixing times across specific graph families. This crate provides:
+//!
+//! * [`Graph`] — an immutable compressed-sparse-row (CSR) simple graph with
+//!   `u32` adjacency storage (cache-friendly; see the type docs).
+//! * [`builder::GraphBuilder`] — edge-list construction with de-duplication
+//!   and self-loop rejection.
+//! * [`gen`] — every graph family the paper mentions (complete, path, cycle,
+//!   d-regular expanders via random regular graphs, the **β-barbell** of
+//!   Figure 1, rings/paths of cliques and of expanders) plus standard extras
+//!   used by the test-suite (grid, torus, hypercube, star, Erdős–Rényi,
+//!   lollipop, dumbbell, complete bipartite).
+//! * [`traversal`] — BFS/DFS, connected components.
+//! * [`props`] — connectivity, bipartiteness, regularity, diameter
+//!   (rayon-parallel all-pairs eccentricity for exact diameters).
+//! * [`cuts`] — volume / cut / conductance `φ(S)` of vertex sets (Definition
+//!   of §2.2) and exhaustive minimum conductance for tiny graphs.
+//! * [`io`] — a plain edge-list text format for persisting workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod cuts;
+pub mod gen;
+pub mod io;
+pub mod props;
+pub mod subgraph;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;

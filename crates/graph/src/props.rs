@@ -1,0 +1,155 @@
+//! Structural properties: connectivity, bipartiteness, regularity, diameter.
+
+use crate::traversal::{bfs, components, UNREACHED};
+use crate::Graph;
+use rayon::prelude::*;
+
+/// True iff the graph is connected (and non-empty).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() == 0 {
+        return false;
+    }
+    components(g).1 == 1
+}
+
+/// True iff every node has the same degree; returns that degree.
+pub fn regularity(g: &Graph) -> Option<usize> {
+    let n = g.n();
+    if n == 0 {
+        return None;
+    }
+    let d = g.degree(0);
+    (1..n).all(|u| g.degree(u) == d).then_some(d)
+}
+
+/// Maximum and minimum degree.
+pub fn degree_extremes(g: &Graph) -> (usize, usize) {
+    assert!(g.n() > 0, "degree_extremes on empty graph");
+    let mut lo = usize::MAX;
+    let mut hi = 0;
+    for u in 0..g.n() {
+        let d = g.degree(u);
+        lo = lo.min(d);
+        hi = hi.max(d);
+    }
+    (lo, hi)
+}
+
+/// 2-coloring test. Returns the coloring if bipartite.
+///
+/// Mixing time of the plain (non-lazy) walk is undefined on bipartite graphs
+/// (§2.1 footnote 5); callers switch to lazy walks when this returns `Some`.
+pub fn bipartition(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.n();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if color[v] == u8::MAX {
+                    color[v] = color[u] ^ 1;
+                    queue.push_back(v);
+                } else if color[v] == color[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+/// Exact diameter via all-pairs BFS, parallelized over sources with rayon.
+///
+/// Returns `None` for disconnected graphs. `O(n·(n+m))` work — fine for the
+/// laptop-scale instances in the experiment sweeps.
+pub fn diameter(g: &Graph) -> Option<usize> {
+    if !is_connected(g) {
+        return None;
+    }
+    let n = g.n();
+    let d = (0..n)
+        .into_par_iter()
+        .map(|s| bfs(g, s).ecc)
+        .max()
+        .unwrap_or(0);
+    Some(d)
+}
+
+/// Eccentricity of one node, or `None` if it cannot reach the whole graph.
+pub fn eccentricity(g: &Graph, u: usize) -> Option<usize> {
+    let r = bfs(g, u);
+    if r.dist.contains(&UNREACHED) {
+        None
+    } else {
+        Some(r.ecc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn connectivity() {
+        assert!(is_connected(&gen::path(4)));
+        let mut b = crate::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        assert!(!is_connected(&b.build()));
+    }
+
+    #[test]
+    fn regularity_detection() {
+        assert_eq!(regularity(&gen::cycle(5)), Some(2));
+        assert_eq!(regularity(&gen::complete(4)), Some(3));
+        assert_eq!(regularity(&gen::path(4)), None);
+        assert_eq!(regularity(&gen::hypercube(3)), Some(3));
+    }
+
+    #[test]
+    fn degree_extremes_on_star() {
+        let (lo, hi) = degree_extremes(&gen::star(6));
+        assert_eq!((lo, hi), (1, 5));
+    }
+
+    #[test]
+    fn bipartite_families() {
+        assert!(bipartition(&gen::path(6)).is_some());
+        assert!(bipartition(&gen::cycle(6)).is_some());
+        assert!(bipartition(&gen::cycle(5)).is_none());
+        assert!(bipartition(&gen::hypercube(4)).is_some());
+        assert!(bipartition(&gen::complete(3)).is_none());
+        // Coloring is proper when it exists.
+        let g = gen::complete_bipartite(3, 4);
+        let col = bipartition(&g).unwrap();
+        for (u, v) in g.edges() {
+            assert_ne!(col[u], col[v]);
+        }
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&gen::path(10)), Some(9));
+        assert_eq!(diameter(&gen::complete(7)), Some(1));
+        assert_eq!(diameter(&gen::cycle(8)), Some(4));
+        let (g, _) = gen::barbell(3, 4);
+        // non-port to non-port across the chain:
+        // hop to port, bridge, cross clique, bridge, hop from port = 5.
+        assert_eq!(diameter(&g), Some(5));
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        assert_eq!(diameter(&b.build()), None);
+    }
+
+    #[test]
+    fn eccentricity_path_midpoint() {
+        let g = gen::path(9);
+        assert_eq!(eccentricity(&g, 4), Some(4));
+        assert_eq!(eccentricity(&g, 0), Some(8));
+    }
+}

@@ -1,0 +1,95 @@
+//! Induced subgraph extraction.
+//!
+//! Weak conductance (Censor-Hillel & Shachnai \[4\], cited by the paper as the
+//! inspiration for local mixing time) is defined through conductances of
+//! *induced* subgraphs `G[S]`; this module provides the extraction.
+
+use crate::{Graph, GraphBuilder};
+
+/// The induced subgraph `G[S]` plus the mapping from new ids to original ids.
+#[derive(Clone, Debug)]
+pub struct Induced {
+    /// The induced subgraph on nodes `0..S.len()`.
+    pub graph: Graph,
+    /// `original[i]` = id in the parent graph of induced node `i`.
+    pub original: Vec<usize>,
+}
+
+/// Extract `G[S]` for a set of distinct node ids.
+///
+/// # Panics
+/// Panics on out-of-range or duplicate ids.
+pub fn induced_subgraph(g: &Graph, nodes: &[usize]) -> Induced {
+    let mut original: Vec<usize> = nodes.to_vec();
+    original.sort_unstable();
+    let before = original.len();
+    original.dedup();
+    assert_eq!(before, original.len(), "duplicate node ids in subgraph set");
+    if let Some(&max) = original.last() {
+        assert!(max < g.n(), "node id {max} out of range");
+    }
+    // Map original id -> new id.
+    let mut new_id = vec![usize::MAX; g.n()];
+    for (i, &u) in original.iter().enumerate() {
+        new_id[u] = i;
+    }
+    let mut b = GraphBuilder::new(original.len());
+    for &u in &original {
+        for v in g.neighbors(u) {
+            if u < v && new_id[v] != usize::MAX {
+                b.add_edge(new_id[u], new_id[v]);
+            }
+        }
+    }
+    Induced {
+        graph: b.build(),
+        original,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn induced_clique_from_barbell() {
+        let (g, spec) = gen::barbell(2, 5);
+        let nodes: Vec<usize> = spec.clique_nodes(0).collect();
+        let ind = induced_subgraph(&g, &nodes);
+        assert_eq!(ind.graph.n(), 5);
+        assert_eq!(ind.graph.m(), 10); // complete K5
+        assert_eq!(ind.original, nodes);
+    }
+
+    #[test]
+    fn induced_preserves_only_internal_edges() {
+        let g = gen::path(5);
+        let ind = induced_subgraph(&g, &[0, 1, 3]);
+        // Edge 0-1 survives; 3 is isolated inside.
+        assert_eq!(ind.graph.m(), 1);
+        assert_eq!(ind.graph.degree(2), 0);
+    }
+
+    #[test]
+    fn mapping_is_sorted_original_ids() {
+        let g = gen::cycle(6);
+        let ind = induced_subgraph(&g, &[4, 2, 0]);
+        assert_eq!(ind.original, vec![0, 2, 4]);
+        assert_eq!(ind.graph.m(), 0); // no two are adjacent in C6
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicates_rejected() {
+        let g = gen::path(4);
+        let _ = induced_subgraph(&g, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_rejected() {
+        let g = gen::path(4);
+        let _ = induced_subgraph(&g, &[9]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Breadth-first / depth-first traversal and connected components.
+//!
+//! The CONGEST simulator has its own *distributed* BFS protocol
+//! (`lmt-congest::bfs`); the centralized traversals here are the reference
+//! implementations it is tested against, and the workhorses for diameter and
+//! connectivity checks.
+
+use crate::Graph;
+
+/// Result of a BFS from a single source.
+#[derive(Clone, Debug)]
+pub struct BfsResult {
+    /// `dist[v]` = hop distance from the source, or `usize::MAX` if unreachable.
+    pub dist: Vec<usize>,
+    /// `parent[v]` = BFS-tree parent, `usize::MAX` for the source/unreachable.
+    pub parent: Vec<usize>,
+    /// Eccentricity of the source within its component.
+    pub ecc: usize,
+    /// Number of reached nodes (including the source).
+    pub reached: usize,
+}
+
+/// Sentinel for "no distance / no parent".
+pub const UNREACHED: usize = usize::MAX;
+
+/// BFS from `src`, optionally capped at `depth_limit` hops (the paper's
+/// Algorithm 2 builds BFS trees of depth `min{D, ℓ}`).
+pub fn bfs_limited(g: &Graph, src: usize, depth_limit: Option<usize>) -> BfsResult {
+    assert!(src < g.n(), "bfs source {src} out of range");
+    let n = g.n();
+    let mut dist = vec![UNREACHED; n];
+    let mut parent = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::with_capacity(n.min(1024));
+    dist[src] = 0;
+    queue.push_back(src);
+    let mut ecc = 0;
+    let mut reached = 1;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u];
+        if let Some(limit) = depth_limit {
+            if du >= limit {
+                continue;
+            }
+        }
+        for v in g.neighbors(u) {
+            if dist[v] == UNREACHED {
+                dist[v] = du + 1;
+                parent[v] = u;
+                ecc = ecc.max(du + 1);
+                reached += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult {
+        dist,
+        parent,
+        ecc,
+        reached,
+    }
+}
+
+/// Unbounded BFS from `src`.
+pub fn bfs(g: &Graph, src: usize) -> BfsResult {
+    bfs_limited(g, src, None)
+}
+
+/// Connected components; returns `(component_id_per_node, component_count)`.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut comp = vec![UNREACHED; n];
+    let mut count = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if comp[s] != UNREACHED {
+            continue;
+        }
+        comp[s] = count;
+        stack.push(s);
+        while let Some(u) = stack.pop() {
+            for v in g.neighbors(u) {
+                if comp[v] == UNREACHED {
+                    comp[v] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Iterative DFS preorder from `src` (used by tests and by the exact
+/// weak-conductance subset enumeration to check induced connectivity).
+pub fn dfs_preorder(g: &Graph, src: usize) -> Vec<usize> {
+    assert!(src < g.n(), "dfs source out of range");
+    let mut seen = vec![false; g.n()];
+    let mut order = Vec::new();
+    let mut stack = vec![src];
+    while let Some(u) = stack.pop() {
+        if seen[u] {
+            continue;
+        }
+        seen[u] = true;
+        order.push(u);
+        // Push in reverse so the smallest neighbor is visited first.
+        let nb: Vec<usize> = g.neighbors(u).collect();
+        for &v in nb.iter().rev() {
+            if !seen[v] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = gen::path(5);
+        let r = bfs(&g, 0);
+        assert_eq!(r.dist, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.ecc, 4);
+        assert_eq!(r.reached, 5);
+        assert_eq!(r.parent[4], 3);
+        assert_eq!(r.parent[0], UNREACHED);
+    }
+
+    #[test]
+    fn bfs_depth_limit_truncates() {
+        let g = gen::path(6);
+        let r = bfs_limited(&g, 0, Some(2));
+        assert_eq!(r.reached, 3);
+        assert_eq!(r.dist[2], 2);
+        assert_eq!(r.dist[3], UNREACHED);
+        assert_eq!(r.ecc, 2);
+    }
+
+    #[test]
+    fn components_counts() {
+        // Two disjoint edges.
+        let mut b = crate::GraphBuilder::new(5);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        let (comp, count) = components(&g);
+        assert_eq!(count, 3); // {0,1}, {2,3}, {4}
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all_connected() {
+        let g = gen::cycle(6);
+        let order = dfs_preorder(&g, 0);
+        assert_eq!(order.len(), 6);
+        assert_eq!(order[0], 0);
+    }
+
+    #[test]
+    fn bfs_tree_parents_are_one_hop_closer() {
+        let g = gen::grid(4, 5);
+        let r = bfs(&g, 7);
+        for v in 0..g.n() {
+            if v != 7 {
+                let p = r.parent[v];
+                assert_eq!(r.dist[p] + 1, r.dist[v]);
+                assert!(g.has_edge(p, v));
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # lmt-spectral
+//!
+//! Spectral and conductance analysis supporting the reproduction of Molla &
+//! Pandurangan (IPDPS 2018).
+//!
+//! §1 of the paper anchors mixing time to spectral quantities via the
+//! classical sandwiches `1/(1−λ₂) ≤ τ_mix ≤ log n/(1−λ₂)` and
+//! `Θ(1−λ₂) ≤ Φ ≤ Θ(√(1−λ₂))` (Jerrum–Sinclair / Cheeger). The experiment
+//! suite uses these as calibration cross-checks, and §5's open problem —
+//! relating local mixing time to the **weak conductance** `Φ_c(G)` of
+//! Censor-Hillel & Shachnai \[4\] — is studied empirically with the tools in
+//! [`weak`].
+//!
+//! Modules:
+//! * [`power`] — second eigenvalue `λ₂` of the (lazy) transition matrix via
+//!   power iteration with deflation against the stationary vector.
+//! * [`cheeger`] — the bound checks.
+//! * [`sweep`] — sweep cuts over a score vector (conductance profiles; the
+//!   standard local-clustering tool used to estimate `φ(S)` of discovered
+//!   local mixing sets for experiment T11).
+//! * [`weak`] — weak conductance: exact (exponential, tiny `n`) and a
+//!   documented sweep-based heuristic for experiment scale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cheeger;
+pub mod power;
+pub mod sweep;
+pub mod weak;

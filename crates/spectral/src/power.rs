@@ -1,0 +1,165 @@
+//! Second eigenvalue of the walk operator by deflated power iteration.
+//!
+//! For an undirected graph the walk operator `P` (row-stochastic; we apply
+//! its transpose to distributions) is similar to a symmetric matrix via the
+//! degree weighting `D^{1/2} P D^{-1/2}`, so its eigenvalues are real and the
+//! top one is 1 with right-eigenvector `π` (as a distribution). Power
+//! iteration on the symmetric form, deflating against the known top
+//! eigenvector `D^{1/2}𝟙/√(2m)`, converges to `|λ₂|`; for lazy walks all
+//! eigenvalues are non-negative so `|λ₂| = λ₂`.
+
+use lmt_graph::Graph;
+use lmt_util::rng::fork;
+use lmt_walks::WalkKind;
+use rand::Rng;
+
+/// Result of a spectral estimation.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralEstimate {
+    /// Estimated second-largest eigenvalue magnitude of the walk matrix.
+    pub lambda2: f64,
+    /// Spectral gap `1 − λ₂`.
+    pub gap: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+/// Apply the symmetrized walk operator `N = D^{1/2} P D^{-1/2}` to `x`.
+///
+/// `N[v][u] = 1/√(d(u)d(v))` for edges; lazy mixes with identity.
+fn apply_sym(g: &Graph, x: &[f64], kind: WalkKind, out: &mut [f64]) {
+    for v in 0..g.n() {
+        let dv = g.degree(v);
+        let mut acc = 0.0;
+        if dv > 0 {
+            for u in g.neighbors(v) {
+                let du = g.degree(u);
+                acc += x[u] / ((du as f64) * (dv as f64)).sqrt();
+            }
+        }
+        out[v] = match kind {
+            WalkKind::Simple => acc,
+            WalkKind::Lazy => 0.5 * x[v] + 0.5 * acc,
+        };
+    }
+}
+
+/// Estimate `λ₂` (in magnitude) of the transition matrix.
+///
+/// `tol` controls the Rayleigh-quotient convergence test; `max_iter` caps
+/// work. Requires a connected graph with at least one edge.
+pub fn lambda2(g: &Graph, kind: WalkKind, tol: f64, max_iter: usize, seed: u64) -> SpectralEstimate {
+    let n = g.n();
+    assert!(g.m() > 0, "lambda2 needs at least one edge");
+    assert!(
+        lmt_graph::props::is_connected(g),
+        "lambda2 requires a connected graph"
+    );
+    // Top eigenvector of the symmetric form: φ(v) = √d(v) (normalized).
+    let mut top: Vec<f64> = (0..n).map(|v| (g.degree(v) as f64).sqrt()).collect();
+    let norm = top.iter().map(|x| x * x).sum::<f64>().sqrt();
+    for x in &mut top {
+        *x /= norm;
+    }
+    let mut rng = fork(seed, 0x5BEC_7A17);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let mut y = vec![0.0; n];
+    let deflate = |v: &mut [f64], top: &[f64]| {
+        let dot: f64 = v.iter().zip(top).map(|(a, b)| a * b).sum();
+        for (a, b) in v.iter_mut().zip(top) {
+            *a -= dot * b;
+        }
+    };
+    deflate(&mut x, &top);
+    let mut prev_rq = f64::INFINITY;
+    let mut rq = 0.0;
+    let mut iters = 0;
+    for it in 0..max_iter {
+        iters = it + 1;
+        apply_sym(g, &x, kind, &mut y);
+        deflate(&mut y, &top);
+        let ny = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if ny < 1e-300 {
+            // x was (numerically) in the top eigenspace only: λ₂ ≈ 0.
+            return SpectralEstimate {
+                lambda2: 0.0,
+                gap: 1.0,
+                iterations: iters,
+            };
+        }
+        for v in &mut y {
+            *v /= ny;
+        }
+        // Rayleigh quotient |x·Nx| after normalization = ny when x normalized.
+        rq = ny;
+        std::mem::swap(&mut x, &mut y);
+        if (rq - prev_rq).abs() < tol && it > 4 {
+            break;
+        }
+        prev_rq = rq;
+    }
+    let lambda2 = rq.min(1.0);
+    SpectralEstimate {
+        lambda2,
+        gap: (1.0 - lambda2).max(0.0),
+        iterations: iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn complete_graph_lambda2() {
+        // K_n: non-trivial eigenvalues of P are −1/(n−1); lazy maps to
+        // (1 − 1/(n−1))/2.
+        let n = 10;
+        let g = gen::complete(n);
+        let est = lambda2(&g, WalkKind::Simple, 1e-12, 10_000, 1);
+        assert!(
+            (est.lambda2 - 1.0 / (n as f64 - 1.0)).abs() < 1e-6,
+            "got {}",
+            est.lambda2
+        );
+        let lazy = lambda2(&g, WalkKind::Lazy, 1e-12, 10_000, 1);
+        let expect = 0.5 * (1.0 - 1.0 / (n as f64 - 1.0));
+        assert!((lazy.lambda2 - expect).abs() < 1e-6, "got {}", lazy.lambda2);
+    }
+
+    #[test]
+    fn cycle_lambda2_matches_cosine() {
+        // Lazy C_n: eigenvalues (1 + cos(2πk/n))/2 ∈ [0,1], so the second
+        // largest is (1 + cos(2π/n))/2. (The *simple* walk on an even cycle
+        // has eigenvalue −1 and its largest non-trivial magnitude is 1 — see
+        // `bipartite_simple_walk_has_lambda_magnitude_one`.)
+        let n = 12;
+        let g = gen::cycle(n);
+        let est = lambda2(&g, WalkKind::Lazy, 1e-13, 50_000, 2);
+        let expect = 0.5 * (1.0 + (2.0 * std::f64::consts::PI / n as f64).cos());
+        assert!((est.lambda2 - expect).abs() < 1e-5, "got {}", est.lambda2);
+    }
+
+    #[test]
+    fn expander_has_large_gap_path_small() {
+        let exp = gen::random_regular(128, 6, 3);
+        let e_exp = lambda2(&exp, WalkKind::Lazy, 1e-10, 20_000, 4);
+        let path = gen::path(128);
+        let e_path = lambda2(&path, WalkKind::Lazy, 1e-10, 200_000, 4);
+        assert!(
+            e_exp.gap > 5.0 * e_path.gap,
+            "expander gap {} vs path gap {}",
+            e_exp.gap,
+            e_path.gap
+        );
+    }
+
+    #[test]
+    fn bipartite_simple_walk_has_lambda_magnitude_one() {
+        // Even cycle: eigenvalue −1 exists; magnitude estimate → 1.
+        let g = gen::cycle(8);
+        let est = lambda2(&g, WalkKind::Simple, 1e-12, 50_000, 5);
+        assert!(est.lambda2 > 0.99, "got {}", est.lambda2);
+    }
+}

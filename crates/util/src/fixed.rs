@@ -1,0 +1,287 @@
+//! Fixed-point rational arithmetic with denominator `n^c`.
+//!
+//! Algorithm 1 of the paper (ESTIMATE-RW-PROBABILITY) cannot ship real-valued
+//! probabilities over a CONGEST edge: only `O(log n)` bits are allowed per
+//! message. The paper's fix is to round every intermediate value to the
+//! nearest integer multiple of `1/n^c` for a constant `c ≥ 6` (Lemma 2 bounds
+//! the accumulated error by `t·n^{-c}` after `t` steps).
+//!
+//! [`FixedQ`] realises exactly that arithmetic. A value is stored as an
+//! integer numerator over an implicit denominator `q = n^c`; the numerator of
+//! any probability is at most `q`, i.e. `c·log₂ n` bits — honest `O(log n)`.
+//!
+//! We use `u128` numerators so that `n^c` fits for every laptop-scale
+//! configuration (`n ≤ 10^5`, `c ≤ 7` gives `10^35 < 2^127`). All operations
+//! are checked; overflow is a caller bug and panics with a clear message.
+
+use std::fmt;
+
+/// The scale (denominator) shared by a family of [`FixedQ`] values.
+///
+/// Constructed once per simulation from `(n, c)`; all fixed-point values in a
+/// run must use the same scale, which the type does not carry per-value (that
+/// would double message sizes in spirit). Operations that combine two values
+/// are defined on [`FixedScale`] so the invariant is kept in one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FixedScale {
+    /// The denominator `q = n^c`.
+    q: u128,
+    /// Number of nodes this scale was derived from.
+    n: usize,
+    /// Exponent `c`.
+    c: u32,
+}
+
+impl FixedScale {
+    /// Create the scale `q = n^c`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n^c` overflows `u128`.
+    pub fn new(n: usize, c: u32) -> Self {
+        assert!(n > 0, "FixedScale requires n > 0");
+        let q = (n as u128)
+            .checked_pow(c)
+            .expect("FixedScale: n^c overflows u128");
+        assert!(q > 0, "FixedScale: n^c must be positive");
+        FixedScale { q, n, c }
+    }
+
+    /// The denominator `q = n^c`.
+    #[inline]
+    pub fn denominator(&self) -> u128 {
+        self.q
+    }
+
+    /// The node count `n` the scale was built from.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The exponent `c`.
+    #[inline]
+    pub fn c(&self) -> u32 {
+        self.c
+    }
+
+    /// Number of bits needed to transmit a probability numerator (`≤ q`).
+    ///
+    /// This is what the CONGEST engine charges per fixed-point payload.
+    pub fn payload_bits(&self) -> u32 {
+        128 - self.q.leading_zeros()
+    }
+
+    /// The value `1` (probability one) at this scale.
+    #[inline]
+    pub fn one(&self) -> FixedQ {
+        FixedQ { num: self.q }
+    }
+
+    /// The value `0` at this scale.
+    #[inline]
+    pub fn zero(&self) -> FixedQ {
+        FixedQ { num: 0 }
+    }
+
+    /// Convert an `f64` in `[0, +∞)` to fixed point by nearest-integer rounding.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_f64(&self, x: f64) -> FixedQ {
+        assert!(x.is_finite() && x >= 0.0, "FixedQ::from_f64: bad input {x}");
+        let num = (x * self.q as f64).round() as u128;
+        FixedQ { num }
+    }
+
+    /// Convert a fixed-point value back to `f64`.
+    #[inline]
+    pub fn to_f64(&self, v: FixedQ) -> f64 {
+        v.num as f64 / self.q as f64
+    }
+
+    /// Divide a value by an integer degree `d`, rounding to the **nearest**
+    /// multiple of `1/q` (ties round up, matching `nint` in Algorithm 1).
+    ///
+    /// This is the per-edge share `w_{t-1}(u)/d(u)` a node sends to each
+    /// neighbour. The rounding error is at most `1/(2q)` per share.
+    ///
+    /// # Panics
+    /// Panics if `d == 0`.
+    #[inline]
+    pub fn div_round(&self, v: FixedQ, d: usize) -> FixedQ {
+        assert!(d > 0, "FixedQ::div_round: division by zero degree");
+        let d = d as u128;
+        // round(num/d) = (num + d/2) / d in integer arithmetic.
+        FixedQ {
+            num: (v.num + d / 2) / d,
+        }
+    }
+
+    /// Divide a value by an integer degree `d`, rounding **down**.
+    ///
+    /// A conservative alternative to [`Self::div_round`]: flooring guarantees
+    /// the total mass never exceeds 1, at the price of a one-sided error. The
+    /// distributed Algorithm 1 implementation uses [`Self::div_round`] (as in
+    /// the paper); this variant exists for the T7 error-model ablation.
+    #[inline]
+    pub fn div_floor(&self, v: FixedQ, d: usize) -> FixedQ {
+        assert!(d > 0, "FixedQ::div_floor: division by zero degree");
+        FixedQ {
+            num: v.num / d as u128,
+        }
+    }
+
+    /// Exact sum of two values at this scale.
+    ///
+    /// # Panics
+    /// Panics on overflow (cannot happen for probability mass ≤ 1 summed over
+    /// ≤ n terms at laptop scale, but checked regardless).
+    #[inline]
+    pub fn add(&self, a: FixedQ, b: FixedQ) -> FixedQ {
+        FixedQ {
+            num: a.num.checked_add(b.num).expect("FixedQ add overflow"),
+        }
+    }
+
+    /// Absolute difference `|a − b|` (exact).
+    #[inline]
+    pub fn abs_diff(&self, a: FixedQ, b: FixedQ) -> FixedQ {
+        FixedQ {
+            num: a.num.abs_diff(b.num),
+        }
+    }
+
+    /// The fixed-point representation of `1/R` (nearest rounding); used for
+    /// the per-node difference `x_u = |p_ℓ(u) − 1/R|` in Algorithm 2.
+    #[inline]
+    pub fn recip(&self, r: usize) -> FixedQ {
+        assert!(r > 0, "FixedQ::recip: R must be positive");
+        self.div_round(self.one(), r)
+    }
+}
+
+/// A non-negative fixed-point value: an integer numerator over the implicit
+/// denominator of a [`FixedScale`].
+///
+/// Ordering and equality compare numerators, which is correct because all
+/// values in a run share a scale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FixedQ {
+    num: u128,
+}
+
+impl FixedQ {
+    /// The raw numerator (what actually travels in a CONGEST message).
+    #[inline]
+    pub fn numerator(&self) -> u128 {
+        self.num
+    }
+
+    /// Rebuild from a raw numerator (the receive side of the codec).
+    #[inline]
+    pub fn from_numerator(num: u128) -> Self {
+        FixedQ { num }
+    }
+
+    /// True iff the value is exactly zero. Nodes with zero mass stay silent
+    /// in Algorithm 1 ("each node u whose w_{t−1}(u) ≠ 0 …").
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+}
+
+impl fmt::Display for FixedQ {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/q", self.num)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_basics() {
+        let s = FixedScale::new(10, 3);
+        assert_eq!(s.denominator(), 1000);
+        assert_eq!(s.n(), 10);
+        assert_eq!(s.c(), 3);
+        assert_eq!(s.one().numerator(), 1000);
+        assert!(s.zero().is_zero());
+    }
+
+    #[test]
+    fn payload_bits_are_o_log_n() {
+        let s = FixedScale::new(1024, 6);
+        // q = 2^60, so 61 bits.
+        assert_eq!(s.payload_bits(), 61);
+        let s2 = FixedScale::new(2, 1);
+        assert_eq!(s2.payload_bits(), 2);
+    }
+
+    #[test]
+    fn from_to_f64_roundtrip_within_half_ulp() {
+        let s = FixedScale::new(100, 3); // q = 10^6
+        for &x in &[0.0, 0.25, 1.0 / 3.0, 0.999_999, 1.0] {
+            let v = s.from_f64(x);
+            let back = s.to_f64(v);
+            assert!(
+                (back - x).abs() <= 0.5 / s.denominator() as f64 + 1e-15,
+                "x={x} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn div_round_nearest() {
+        let s = FixedScale::new(10, 2); // q = 100
+        // 1/3 of 1.0 = 33.33../100 → rounds to 33.
+        let third = s.div_round(s.one(), 3);
+        assert_eq!(third.numerator(), 33);
+        // 1/2 of 0.01 = 0.5/100 → ties round up to 1.
+        let tiny = FixedQ::from_numerator(1);
+        assert_eq!(s.div_round(tiny, 2).numerator(), 1);
+        assert_eq!(s.div_floor(tiny, 2).numerator(), 0);
+    }
+
+    #[test]
+    fn share_error_at_most_half_unit() {
+        let s = FixedScale::new(50, 3);
+        let q = s.denominator() as f64;
+        for num in [0u128, 1, 7, 123, 124_999] {
+            let v = FixedQ::from_numerator(num);
+            for d in 1..=13usize {
+                let exact = num as f64 / d as f64;
+                let got = s.div_round(v, d).numerator() as f64;
+                assert!(
+                    (got - exact).abs() <= 0.5 + 1e-9,
+                    "num={num} d={d} got={got} exact={exact} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn abs_diff_and_recip() {
+        let s = FixedScale::new(10, 2);
+        let a = s.from_f64(0.7);
+        let b = s.from_f64(0.2);
+        assert_eq!(s.to_f64(s.abs_diff(a, b)), 0.5);
+        assert_eq!(s.to_f64(s.abs_diff(b, a)), 0.5);
+        assert_eq!(s.recip(4).numerator(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero degree")]
+    fn div_by_zero_panics() {
+        let s = FixedScale::new(4, 2);
+        let _ = s.div_round(s.one(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn overflow_scale_panics() {
+        let _ = FixedScale::new(1_000_000, 8);
+    }
+}

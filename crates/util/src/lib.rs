@@ -1,0 +1,38 @@
+//! # lmt-util
+//!
+//! Shared utilities for the reproduction of Molla & Pandurangan,
+//! *Local Mixing Time: Distributed Computation and Applications* (IPDPS 2018).
+//!
+//! The crate is deliberately dependency-light; everything here is either pure
+//! numeric code or small collection types that the substrate crates
+//! (`lmt-graph`, `lmt-congest`, `lmt-walks`, …) build upon.
+//!
+//! Modules:
+//!
+//! * [`fixed`] — [`fixed::FixedQ`], the fixed-point rational arithmetic with
+//!   denominator `n^c` that Algorithm 1 of the paper uses so that probability
+//!   values fit in `O(log n)`-bit CONGEST messages.
+//! * [`bitset`] — a compact, fast bit set used for token bookkeeping in the
+//!   gossip substrate and for subset enumeration in exact conductance code.
+//! * [`stats`] — summary statistics (mean / median / quantiles / stddev) and
+//!   a least-squares log–log slope fit used by the experiment harness to
+//!   verify growth exponents.
+//! * [`order`] — order statistics helpers: sum of the `R` smallest values,
+//!   prefix-sum windows over sorted data.
+//! * [`rng`] — deterministic RNG fan-out so that the parallel and sequential
+//!   simulator engines observe identical randomness.
+//! * [`table`] — minimal plain-text / CSV table writer for the experiment
+//!   binaries (no serde needed for flat numeric tables).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod fixed;
+pub mod order;
+pub mod rng;
+pub mod stats;
+pub mod table;
+
+pub use bitset::BitSet;
+pub use fixed::FixedQ;

@@ -1,0 +1,149 @@
+//! Order statistics helpers.
+//!
+//! Algorithm 2 of the paper repeatedly needs "the sum of the `R` smallest
+//! `x_u` values" — centrally this is a selection problem; in the distributed
+//! algorithm it becomes a binary search over a BFS tree (see
+//! `lmt-congest::binsearch`). The centralized versions here serve as the
+//! reference implementations that the distributed protocol is tested against,
+//! and are also used by the ground-truth local-mixing-time oracle.
+
+/// Sum of the `r` smallest values of `xs` (not required to be sorted).
+///
+/// `O(n log n)`; good enough for reference use. Returns `None` if `r > n`.
+pub fn sum_of_r_smallest(xs: &[f64], r: usize) -> Option<f64> {
+    if r > xs.len() {
+        return None;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sum_of_r_smallest"));
+    Some(v[..r].iter().sum())
+}
+
+/// Precomputed prefix sums over a **sorted ascending** slice, supporting
+/// `O(log n)` evaluation of `Σ_{i∈window} |v_i − c|` for any contiguous
+/// window and constant `c`.
+///
+/// This is the inner kernel of the ground-truth local-mixing-time oracle:
+/// for a fixed set size `R`, the optimal mixing set (the `R` values of the
+/// distribution closest to `1/R`) is a contiguous window of the sorted
+/// distribution, and its L1 distance to the flat vector decomposes around
+/// the crossing point of `c = 1/R`.
+#[derive(Clone, Debug)]
+pub struct SortedPrefix {
+    /// Sorted ascending values.
+    vals: Vec<f64>,
+    /// `pre[i] = vals[0] + … + vals[i-1]`.
+    pre: Vec<f64>,
+}
+
+impl SortedPrefix {
+    /// Build from arbitrary values; sorts internally.
+    ///
+    /// # Panics
+    /// Panics if any value is NaN.
+    pub fn new(mut vals: Vec<f64>) -> Self {
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN in SortedPrefix"));
+        let mut pre = Vec::with_capacity(vals.len() + 1);
+        pre.push(0.0);
+        let mut acc = 0.0;
+        for &v in &vals {
+            acc += v;
+            pre.push(acc);
+        }
+        SortedPrefix { vals, pre }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// True iff no values.
+    pub fn is_empty(&self) -> bool {
+        self.vals.is_empty()
+    }
+
+    /// The sorted values.
+    pub fn values(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// `Σ_{i=lo..hi} |vals[i] − c|` for the half-open window `[lo, hi)`.
+    pub fn window_abs_dev(&self, lo: usize, hi: usize, c: f64) -> f64 {
+        assert!(lo <= hi && hi <= self.vals.len(), "bad window [{lo},{hi})");
+        // First index in [lo, hi) with vals[idx] >= c.
+        let split = lo + self.vals[lo..hi].partition_point(|&v| v < c);
+        // Below the split: Σ (c − v) = (split−lo)·c − (pre[split]−pre[lo]).
+        let below = (split - lo) as f64 * c - (self.pre[split] - self.pre[lo]);
+        // At/above: Σ (v − c) = (pre[hi]−pre[split]) − (hi−split)·c.
+        let above = (self.pre[hi] - self.pre[split]) - (hi - split) as f64 * c;
+        below + above
+    }
+
+    /// Minimum of [`Self::window_abs_dev`] over all windows of width `r`,
+    /// returning `(best_lo, best_value)`.
+    pub fn best_window(&self, r: usize, c: f64) -> Option<(usize, f64)> {
+        if r == 0 || r > self.vals.len() {
+            return None;
+        }
+        let mut best = (0usize, f64::INFINITY);
+        for lo in 0..=(self.vals.len() - r) {
+            let v = self.window_abs_dev(lo, lo + r, c);
+            if v < best.1 {
+                best = (lo, v);
+            }
+        }
+        Some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_abs_dev(vals: &[f64], c: f64) -> f64 {
+        vals.iter().map(|v| (v - c).abs()).sum()
+    }
+
+    #[test]
+    fn r_smallest_matches_sort() {
+        let xs = vec![5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(sum_of_r_smallest(&xs, 3), Some(6.0));
+        assert_eq!(sum_of_r_smallest(&xs, 0), Some(0.0));
+        assert_eq!(sum_of_r_smallest(&xs, 6), None);
+    }
+
+    #[test]
+    fn window_abs_dev_matches_brute_force() {
+        let vals = vec![0.9, 0.1, 0.4, 0.4, 0.2, 0.75, 0.0];
+        let sp = SortedPrefix::new(vals);
+        let sorted = sp.values().to_vec();
+        for lo in 0..sorted.len() {
+            for hi in lo..=sorted.len() {
+                for &c in &[0.0, 0.15, 0.4, 1.2] {
+                    let got = sp.window_abs_dev(lo, hi, c);
+                    let want = brute_abs_dev(&sorted[lo..hi], c);
+                    assert!((got - want).abs() < 1e-12, "lo={lo} hi={hi} c={c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_window_finds_minimum() {
+        let sp = SortedPrefix::new(vec![0.0, 0.0, 0.24, 0.26, 0.25, 0.25]);
+        // Width-4 window closest to c = 0.25 is the last four values.
+        let (lo, v) = sp.best_window(4, 0.25).unwrap();
+        assert_eq!(lo, 2);
+        assert!(v < 0.03);
+        assert!(sp.best_window(7, 0.25).is_none());
+        assert!(sp.best_window(0, 0.25).is_none());
+    }
+
+    #[test]
+    fn empty_prefix() {
+        let sp = SortedPrefix::new(vec![]);
+        assert!(sp.is_empty());
+        assert_eq!(sp.len(), 0);
+    }
+}

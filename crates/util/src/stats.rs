@@ -1,0 +1,155 @@
+//! Summary statistics and growth-exponent fitting.
+//!
+//! The experiment harness verifies *shape* claims ("τ_mix grows like n²",
+//! "the barbell gap grows like β²") rather than absolute constants. The
+//! [`loglog_slope`] least-squares fit turns a measured series into an
+//! exponent we can compare against the paper's claim.
+
+/// Basic summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of middle two for even n).
+    pub median: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n ≤ 1).
+    pub stddev: f64,
+}
+
+/// Compute a [`Summary`] of `xs`.
+///
+/// # Panics
+/// Panics if `xs` is empty or contains NaN.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "summarize: empty sample");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in summarize"));
+    let n = v.len();
+    let mean = v.iter().sum::<f64>() / n as f64;
+    let median = if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    };
+    let var = if n > 1 {
+        v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+    } else {
+        0.0
+    };
+    Summary {
+        n,
+        mean,
+        median,
+        min: v[0],
+        max: v[n - 1],
+        stddev: var.sqrt(),
+    }
+}
+
+/// Quantile by linear interpolation of the sorted sample; `q ∈ [0,1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile: empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile: q out of range");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Least-squares slope of `log(y)` against `log(x)`.
+///
+/// For a power law `y = a·x^k` this recovers `k`. Points with non-positive
+/// coordinates are skipped (they carry no log–log information); returns
+/// `None` if fewer than two usable points remain.
+pub fn loglog_slope(points: &[(f64, f64)]) -> Option<f64> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    slope(&logs)
+}
+
+/// Plain least-squares slope of `y` against `x`. `None` if under-determined
+/// (fewer than 2 points, or zero variance in x).
+pub fn slope(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(summarize(&[3.0, 1.0, 2.0]).median, 2.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert!((quantile(&xs, 0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_recovers_exponent() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
+            let x = (1 << i) as f64;
+            (x, 3.5 * x * x)
+        }).collect();
+        let k = loglog_slope(&pts).unwrap();
+        assert!((k - 2.0).abs() < 1e-9, "k={k}");
+    }
+
+    #[test]
+    fn loglog_skips_nonpositive() {
+        let pts = vec![(0.0, 1.0), (2.0, 4.0), (4.0, 16.0)];
+        let k = loglog_slope(&pts).unwrap();
+        assert!((k - 2.0).abs() < 1e-9);
+        assert!(loglog_slope(&[(0.0, 1.0), (-1.0, 2.0)]).is_none());
+    }
+
+    #[test]
+    fn slope_degenerate() {
+        assert!(slope(&[(1.0, 1.0)]).is_none());
+        assert!(slope(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+}

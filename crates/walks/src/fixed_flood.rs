@@ -1,0 +1,260 @@
+//! Centralized reference of Algorithm 1 (ESTIMATE-RW-PROBABILITY).
+//!
+//! The distributed implementation in `lmt-congest::flood` must agree with
+//! this iteration **bit-for-bit**: both perform, per step, per node `u` with
+//! `w(u) ≠ 0`, the send of `round(w(u)/d(u))` to every neighbor (lazy:
+//! `round(w/2d)` shipped, `round(w/2)` retained) and the exact integer
+//! summation of received shares — they literally share [`FixedWalk::share_of`]
+//! / [`FixedWalk::keep_of`].
+//!
+//! Error model (experiment T7): each per-edge share is rounded to the nearest
+//! multiple of `1/n^c`, so one step adds at most `d_max/(2n^c)` of error at a
+//! node, and after `t` steps `|p̃_t(u) − p_t(u)| ≤ t·d_max/(2n^c)` — the
+//! concrete counterpart of the paper's Lemma 2 bound `t·n^{−c}` (which
+//! absorbs degrees into the choice of `c`).
+
+use crate::step::WalkKind;
+use crate::Dist;
+use lmt_graph::Graph;
+use lmt_util::fixed::{FixedQ, FixedScale};
+
+/// Rounding mode for the per-edge share (the paper uses nearest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rounding {
+    /// Nearest multiple of `1/n^c` (paper's `nint`).
+    Nearest,
+    /// Round down — conservative one-sided variant for the T7 ablation.
+    Floor,
+}
+
+/// The fixed-point walk state: one `FixedQ` weight per node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FixedWalk {
+    /// Shared scale `q = n^c`.
+    pub scale: FixedScale,
+    /// Current weights `w_t(u)`.
+    pub w: Vec<FixedQ>,
+    /// Steps taken so far.
+    pub t: usize,
+    rounding: Rounding,
+    kind: WalkKind,
+}
+
+impl FixedWalk {
+    /// Initialize at the point mass on `src` with scale `n^c` (simple walk).
+    pub fn new(g: &Graph, src: usize, c: u32, rounding: Rounding) -> Self {
+        Self::with_kind(g, src, c, rounding, WalkKind::Simple)
+    }
+
+    /// Initialize with an explicit walk kind. The lazy variant keeps
+    /// `nint(w/2)` at the node and ships `nint(w/2d)` per edge — the
+    /// footnote-5 fix that makes mixing well-defined on bipartite graphs.
+    pub fn with_kind(g: &Graph, src: usize, c: u32, rounding: Rounding, kind: WalkKind) -> Self {
+        assert!(src < g.n(), "source out of range");
+        let scale = FixedScale::new(g.n(), c);
+        let mut w = vec![scale.zero(); g.n()];
+        w[src] = scale.one();
+        FixedWalk {
+            scale,
+            w,
+            t: 0,
+            rounding,
+            kind,
+        }
+    }
+
+    /// Per-edge share of a node holding weight `w` with degree `d`.
+    ///
+    /// Public so the distributed implementation (`lmt-congest::flood`) uses
+    /// the *same* arithmetic and stays bit-identical to this reference.
+    #[inline]
+    pub fn share_of(
+        scale: &FixedScale,
+        rounding: Rounding,
+        kind: WalkKind,
+        w: FixedQ,
+        d: usize,
+    ) -> FixedQ {
+        let denom = match kind {
+            WalkKind::Simple => d,
+            WalkKind::Lazy => 2 * d,
+        };
+        match rounding {
+            Rounding::Nearest => scale.div_round(w, denom),
+            Rounding::Floor => scale.div_floor(w, denom),
+        }
+    }
+
+    /// Retained (lazy) part of a node's weight (see [`Self::share_of`]).
+    #[inline]
+    pub fn keep_of(
+        scale: &FixedScale,
+        rounding: Rounding,
+        kind: WalkKind,
+        w: FixedQ,
+    ) -> FixedQ {
+        match kind {
+            WalkKind::Simple => scale.zero(),
+            WalkKind::Lazy => match rounding {
+                Rounding::Nearest => scale.div_round(w, 2),
+                Rounding::Floor => scale.div_floor(w, 2),
+            },
+        }
+    }
+
+    /// Advance one step (one CONGEST round of Algorithm 1's loop body).
+    pub fn step(&mut self, g: &Graph) {
+        let mut next: Vec<FixedQ> = (0..g.n())
+            .map(|u| Self::keep_of(&self.scale, self.rounding, self.kind, self.w[u]))
+            .collect();
+        for u in 0..g.n() {
+            if self.w[u].is_zero() {
+                continue; // silent node, as in Algorithm 1 step 3
+            }
+            let d = g.degree(u);
+            if d == 0 {
+                continue;
+            }
+            let share = Self::share_of(&self.scale, self.rounding, self.kind, self.w[u], d);
+            if share.is_zero() {
+                continue;
+            }
+            for v in g.neighbors(u) {
+                next[v] = self.scale.add(next[v], share);
+            }
+        }
+        self.w = next;
+        self.t += 1;
+    }
+
+    /// Run `steps` more steps.
+    pub fn run(&mut self, g: &Graph, steps: usize) {
+        for _ in 0..steps {
+            self.step(g);
+        }
+    }
+
+    /// Current estimate as an `f64` distribution `p̃_t`.
+    pub fn to_dist(&self) -> Dist {
+        Dist::from_vec(self.w.iter().map(|&v| self.scale.to_f64(v)).collect())
+    }
+
+    /// The provable per-run error bound for this graph: each receiving node
+    /// absorbs at most one half-ulp of rounding per incoming share (`d_max`
+    /// of them) plus, for lazy walks, one for the retained half —
+    /// `t·(d_max + lazy)/(2n^c)` overall.
+    pub fn error_bound(&self, g: &Graph) -> f64 {
+        let d_max = (0..g.n()).map(|u| g.degree(u)).max().unwrap_or(0);
+        let lazy_extra = match self.kind {
+            WalkKind::Simple => 0,
+            WalkKind::Lazy => 1,
+        };
+        self.t as f64 * (d_max + lazy_extra) as f64 / (2.0 * self.scale.denominator() as f64)
+    }
+}
+
+/// Convenience: run Algorithm 1 semantics for `ell` steps and return `p̃_ell`.
+pub fn estimate_rw_probability(g: &Graph, src: usize, ell: usize, c: u32) -> Dist {
+    let mut fw = FixedWalk::new(g, src, c, Rounding::Nearest);
+    fw.run(g, ell);
+    fw.to_dist()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{evolve, WalkKind};
+    use lmt_graph::gen;
+
+    #[test]
+    fn tracks_exact_distribution_within_lemma2_bound() {
+        let g = gen::cycle(9);
+        let mut fw = FixedWalk::new(&g, 0, 6, Rounding::Nearest);
+        for t in 1..=50 {
+            fw.step(&g);
+            let exact = evolve(&g, &Dist::point(9, 0), WalkKind::Simple, t);
+            let est = fw.to_dist();
+            let bound = fw.error_bound(&g) + 1e-12;
+            for v in 0..9 {
+                assert!(
+                    (est.get(v) - exact.get(v)).abs() <= bound,
+                    "t={t} v={v}: |{} - {}| > {bound}",
+                    est.get(v),
+                    exact.get(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mass_stays_close_to_one_with_nearest() {
+        let (g, _) = gen::barbell(2, 5);
+        let mut fw = FixedWalk::new(&g, 0, 6, Rounding::Nearest);
+        fw.run(&g, 100);
+        let m = fw.to_dist().mass();
+        assert!((m - 1.0).abs() < 1e-3, "mass drifted to {m}");
+    }
+
+    #[test]
+    fn floor_mode_never_exceeds_mass_one() {
+        let g = gen::complete(6);
+        let mut fw = FixedWalk::new(&g, 0, 6, Rounding::Floor);
+        for _ in 0..200 {
+            fw.step(&g);
+            assert!(fw.to_dist().mass() <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn initial_state_is_point_mass() {
+        let g = gen::path(4);
+        let fw = FixedWalk::new(&g, 2, 6, Rounding::Nearest);
+        let d = fw.to_dist();
+        assert_eq!(d.get(2), 1.0);
+        assert_eq!(d.mass(), 1.0);
+        assert_eq!(fw.t, 0);
+    }
+
+    #[test]
+    fn estimate_matches_manual_walk() {
+        let g = gen::path(5);
+        let a = estimate_rw_probability(&g, 0, 7, 6);
+        let mut fw = FixedWalk::new(&g, 0, 6, Rounding::Nearest);
+        fw.run(&g, 7);
+        assert_eq!(a, fw.to_dist());
+    }
+
+    #[test]
+    fn lazy_mode_tracks_lazy_walk_on_bipartite_graph() {
+        // Footnote 5: on bipartite graphs only the lazy walk mixes; the
+        // lazy fixed-point flood must track the exact lazy distribution.
+        let g = gen::hypercube(4);
+        let mut fw = FixedWalk::with_kind(&g, 0, 6, Rounding::Nearest, WalkKind::Lazy);
+        for t in 1..=60 {
+            fw.step(&g);
+            let exact = evolve(&g, &Dist::point(16, 0), WalkKind::Lazy, t);
+            let est = fw.to_dist();
+            let bound = fw.error_bound(&g) + 1e-12;
+            for v in 0..16 {
+                assert!(
+                    (est.get(v) - exact.get(v)).abs() <= bound,
+                    "t={t} v={v}"
+                );
+            }
+        }
+        // And it actually approaches uniform (mixes), unlike the simple walk.
+        let pi = Dist::uniform(16);
+        assert!(fw.to_dist().l1_distance(&pi) < 0.05);
+    }
+
+    #[test]
+    fn higher_c_tightens_error() {
+        let g = gen::grid(3, 3);
+        let exact = evolve(&g, &Dist::point(9, 0), WalkKind::Simple, 30);
+        let coarse = estimate_rw_probability(&g, 0, 30, 4);
+        let fine = estimate_rw_probability(&g, 0, 30, 8);
+        let err_coarse = coarse.l1_distance(&exact);
+        let err_fine = fine.l1_distance(&exact);
+        assert!(err_fine <= err_coarse + 1e-15, "{err_fine} > {err_coarse}");
+    }
+}

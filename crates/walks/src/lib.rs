@@ -1,0 +1,42 @@
+//! # lmt-walks
+//!
+//! Random-walk machinery for the reproduction of Molla & Pandurangan,
+//! *Local Mixing Time: Distributed Computation and Applications*
+//! (IPDPS 2018).
+//!
+//! Everything here is **centralized** ("oracle") computation: exact `f64`
+//! power iteration of walk distributions, stationary distributions, global
+//! mixing times (Definition 1), and the ground-truth **local mixing time**
+//! `τ_s(β, ε)` (Definition 2) against which the distributed algorithms in
+//! `lmt-core` are validated. The fixed-point flooding model of the paper's
+//! Algorithm 1 also has its centralized reference here ([`fixed_flood`]),
+//! so the CONGEST implementation can be checked bit-for-bit.
+//!
+//! Modules:
+//! * [`dist`] — dense distribution vectors, L1/L∞ distances, restrictions.
+//! * [`step`] — one walk step (simple or lazy), rayon-parallel for large `n`.
+//! * [`stationary`] — `π` and restricted `π_S` (§2.2).
+//! * [`mixing`] — `τ_mix_s(ε)` (Definition 1), using Lemma 1 monotonicity,
+//!   with hard caps.
+//! * [`local`] — ground-truth `τ_s(β, ε)` via the sorted-window oracle, with
+//!   every set size or the paper's geometric `(1+ε)` grid, with or without
+//!   the `s ∈ S` constraint; restricted-distance profiles for the
+//!   non-monotonicity study.
+//! * [`fixed_flood`] — Algorithm 1 semantics (rounding to multiples of
+//!   `1/n^c`) as a centralized iteration.
+//! * [`sampler`] — token-level random-walk endpoint sampling (the Das Sarma
+//!   et al. baseline ingredient).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod fixed_flood;
+pub mod local;
+pub mod mixing;
+pub mod sampler;
+pub mod stationary;
+pub mod step;
+
+pub use dist::Dist;
+pub use step::WalkKind;

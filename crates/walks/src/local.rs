@@ -1,0 +1,540 @@
+//! Ground-truth local mixing time `τ_s(β, ε)` (Definition 2 of the paper).
+//!
+//! `τ_s(β, ε) = min{ t : ∃ S ∋ s, |S| ≥ n/β, ‖p_tS − π_S‖₁ < ε }`.
+//!
+//! For a **d-regular** graph `π_S` is the flat vector `1/|S|`, so for a fixed
+//! set size `R` the optimal set is the `R` nodes whose probabilities are
+//! closest to `1/R` — and since "closest to a scalar" is an interval, those
+//! nodes form a **contiguous window of the value-sorted distribution**. That
+//! turns the per-step existence check into `O(n log n + |grid|·n)` instead of
+//! an exponential subset search ([`check_dist`]).
+//!
+//! The oracle supports:
+//! * every set size (`SizeGrid::All`) — the exact Definition 2 quantity — or
+//!   the paper's geometric `(1+ε)` grid (`SizeGrid::Geometric`), which is
+//!   what Algorithm 2 actually inspects;
+//! * optional enforcement of the `s ∈ S` constraint (the paper's Algorithm 2
+//!   drops it, collecting the `R` smallest `x_u` globally; we support both so
+//!   experiment T2 can quantify the difference);
+//! * an exponential-time brute force ([`brute_force_local_mixing_time`]) for
+//!   arbitrary (even non-regular) tiny graphs, used to validate the window
+//!   oracle in tests.
+
+use crate::step::{step, WalkKind};
+use crate::Dist;
+use lmt_graph::Graph;
+use lmt_util::order::SortedPrefix;
+
+/// Which set sizes the existence check inspects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SizeGrid {
+    /// Every integer size in `[⌈n/β⌉, n]` — exact Definition 2.
+    All,
+    /// The paper's grid: `⌈n/β⌉, ⌈(1+ε)n/β⌉, ⌈(1+ε)²n/β⌉, …, n`.
+    Geometric,
+}
+
+/// How strictly to enforce the paper's §3 regularity assumption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlatPolicy {
+    /// Reject non-regular graphs ([`LocalMixError::NotRegular`]).
+    RequireRegular,
+    /// Use the flat `1/|S|` target regardless of degrees. This matches the
+    /// paper's own loose treatment of its Figure 1 β-barbell (whose bridge
+    /// ports have degree `k`, not `k−1`); sensible only for *near*-regular
+    /// graphs, where the target error is `O(1/(kn))` per port.
+    AssumeFlat,
+}
+
+/// Options for the oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalMixOptions {
+    /// Set-size parameter `β ≥ 1`: candidate sets have `|S| ≥ n/β`.
+    pub beta: f64,
+    /// Accuracy `ε ∈ (0,1)`; acceptance is `‖p_tS − π_S‖₁ < ε`.
+    pub eps: f64,
+    /// Walk kind (lazy recommended on bipartite families).
+    pub kind: WalkKind,
+    /// Upper bound on steps before giving up.
+    pub max_t: usize,
+    /// Which set sizes to inspect.
+    pub grid: SizeGrid,
+    /// Enforce `s ∈ S` (Definition 2) or allow any set (Algorithm 2's view).
+    pub require_source: bool,
+    /// Regularity handling (see [`FlatPolicy`]).
+    pub flat_policy: FlatPolicy,
+}
+
+impl LocalMixOptions {
+    /// Reasonable defaults: the paper's `ε = 1/8e`, geometric grid, simple
+    /// walk, source not enforced (matching Algorithm 2's check).
+    pub fn new(beta: f64) -> Self {
+        LocalMixOptions {
+            beta,
+            eps: 1.0 / (8.0 * std::f64::consts::E),
+            kind: WalkKind::Simple,
+            max_t: 1 << 20,
+            grid: SizeGrid::Geometric,
+            require_source: false,
+            flat_policy: FlatPolicy::RequireRegular,
+        }
+    }
+
+    fn validate(&self, n: usize) {
+        assert!(self.beta >= 1.0, "β must be ≥ 1 (got {})", self.beta);
+        assert!(
+            self.eps > 0.0 && self.eps < 1.0,
+            "ε must lie in (0,1) (got {})",
+            self.eps
+        );
+        assert!(n >= 1, "empty graph");
+    }
+}
+
+/// A set witnessing local mixing at some step.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    /// Set size `|S|`.
+    pub size: usize,
+    /// Achieved restricted L1 distance `Σ_{u∈S} |p(u) − 1/|S||`.
+    pub l1: f64,
+    /// The member node ids.
+    pub nodes: Vec<usize>,
+}
+
+/// Result of the oracle.
+#[derive(Clone, Debug)]
+pub struct LocalMixResult {
+    /// The local mixing time `τ_s(β, ε)` (w.r.t. the chosen size grid).
+    pub tau: usize,
+    /// A witnessing set at step `tau`.
+    pub witness: Witness,
+}
+
+/// Errors from the oracle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LocalMixError {
+    /// No witnessing set found within `max_t` steps.
+    NotMixedWithin(usize),
+    /// The window oracle requires a regular graph (the paper's §3 setting).
+    NotRegular,
+}
+
+impl std::fmt::Display for LocalMixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LocalMixError::NotMixedWithin(t) => {
+                write!(f, "no local-mixing set found within {t} steps")
+            }
+            LocalMixError::NotRegular => {
+                write!(f, "window oracle requires a regular graph (paper §3 assumption)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LocalMixError {}
+
+/// Build the list of candidate set sizes for `n` nodes under `opts`.
+pub fn size_grid(n: usize, opts: &LocalMixOptions) -> Vec<usize> {
+    let r_min = ((n as f64 / opts.beta).ceil() as usize).clamp(1, n);
+    match opts.grid {
+        SizeGrid::All => (r_min..=n).collect(),
+        SizeGrid::Geometric => {
+            let mut sizes = Vec::new();
+            let mut r = r_min as f64;
+            loop {
+                let ri = (r.ceil() as usize).min(n);
+                if sizes.last() != Some(&ri) {
+                    sizes.push(ri);
+                }
+                if ri >= n {
+                    break;
+                }
+                r *= 1.0 + opts.eps;
+            }
+            sizes
+        }
+    }
+}
+
+/// Existence check for one distribution: is there a set of an allowed size
+/// whose restricted distance to flat is `< eps`? Returns the first witness
+/// (smallest grid size) if so.
+///
+/// `src` is `Some(s)` to enforce `s ∈ S`.
+pub fn check_dist(p: &Dist, sizes: &[usize], eps: f64, src: Option<usize>) -> Option<Witness> {
+    let n = p.n();
+    // Sort node ids by probability value once.
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    ids.sort_by(|&a, &b| {
+        p.get(a as usize)
+            .partial_cmp(&p.get(b as usize))
+            .expect("NaN probability")
+    });
+    let sorted_vals: Vec<f64> = ids.iter().map(|&i| p.get(i as usize)).collect();
+
+    match src {
+        None => {
+            let sp = SortedPrefix::new(sorted_vals);
+            for &r in sizes {
+                let c = 1.0 / r as f64;
+                if let Some((lo, sum)) = sp.best_window(r, c) {
+                    if sum < eps {
+                        let nodes = ids[lo..lo + r].iter().map(|&i| i as usize).collect();
+                        return Some(Witness {
+                            size: r,
+                            l1: sum,
+                            nodes,
+                        });
+                    }
+                }
+            }
+            None
+        }
+        Some(s) => {
+            // Optimal set containing s = {s} ∪ best (R−1)-window of the rest.
+            let pos = ids
+                .iter()
+                .position(|&i| i as usize == s)
+                .expect("source id missing");
+            let mut rest_ids = ids.clone();
+            rest_ids.remove(pos);
+            let rest_vals: Vec<f64> = rest_ids.iter().map(|&i| p.get(i as usize)).collect();
+            let sp = SortedPrefix::new(rest_vals);
+            let ps = p.get(s);
+            for &r in sizes {
+                let c = 1.0 / r as f64;
+                let own = (ps - c).abs();
+                let (lo, sum) = if r == 1 {
+                    (0, 0.0)
+                } else {
+                    match sp.best_window(r - 1, c) {
+                        Some(w) => w,
+                        None => continue,
+                    }
+                };
+                let total = own + sum;
+                if total < eps {
+                    let mut nodes: Vec<usize> = rest_ids[lo..lo + (r - 1)]
+                        .iter()
+                        .map(|&i| i as usize)
+                        .collect();
+                    nodes.push(s);
+                    return Some(Witness {
+                        size: r,
+                        l1: total,
+                        nodes,
+                    });
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Ground-truth local mixing time for a **regular** graph.
+///
+/// Steps the exact `f64` distribution from the point mass at `src` and runs
+/// [`check_dist`] each step until a witness appears.
+pub fn local_mixing_time(
+    g: &Graph,
+    src: usize,
+    opts: &LocalMixOptions,
+) -> Result<LocalMixResult, LocalMixError> {
+    opts.validate(g.n());
+    assert!(src < g.n(), "source out of range");
+    if opts.flat_policy == FlatPolicy::RequireRegular
+        && lmt_graph::props::regularity(g).is_none()
+    {
+        return Err(LocalMixError::NotRegular);
+    }
+    let sizes = size_grid(g.n(), opts);
+    let src_opt = opts.require_source.then_some(src);
+    let mut p = Dist::point(g.n(), src);
+    for t in 0..=opts.max_t {
+        if let Some(w) = check_dist(&p, &sizes, opts.eps, src_opt) {
+            return Ok(LocalMixResult { tau: t, witness: w });
+        }
+        if t < opts.max_t {
+            p = step(g, &p, opts.kind);
+        }
+    }
+    Err(LocalMixError::NotMixedWithin(opts.max_t))
+}
+
+/// The local mixing time of the graph, `τ(β,ε) = max_v τ_v(β,ε)`
+/// (Definition 2), by running every source. `O(n)`-times the single-source
+/// cost, as the paper notes (§1 footnote 6).
+pub fn graph_local_mixing_time(
+    g: &Graph,
+    opts: &LocalMixOptions,
+) -> Result<usize, LocalMixError> {
+    let mut worst = 0;
+    for s in 0..g.n() {
+        worst = worst.max(local_mixing_time(g, s, opts)?.tau);
+    }
+    Ok(worst)
+}
+
+/// Per-step profile `t ↦ min over grid sizes of the best restricted distance`
+/// for `t = 0..=t_max`. **Not monotone** in general — the basis of experiment
+/// T9 (the paper's remark that Lemma 1 fails for restricted distances and why
+/// binary search over `ℓ` is unsound).
+pub fn local_profile(
+    g: &Graph,
+    src: usize,
+    opts: &LocalMixOptions,
+    t_max: usize,
+) -> Vec<f64> {
+    opts.validate(g.n());
+    let sizes = size_grid(g.n(), opts);
+    let mut out = Vec::with_capacity(t_max + 1);
+    let mut p = Dist::point(g.n(), src);
+    for t in 0..=t_max {
+        // Best over sizes irrespective of eps: reuse check with eps = ∞ by
+        // computing min directly.
+        let mut ids: Vec<u32> = (0..g.n() as u32).collect();
+        ids.sort_by(|&a, &b| {
+            p.get(a as usize)
+                .partial_cmp(&p.get(b as usize))
+                .expect("NaN probability")
+        });
+        let sp = SortedPrefix::new(ids.iter().map(|&i| p.get(i as usize)).collect());
+        let best = sizes
+            .iter()
+            .filter_map(|&r| sp.best_window(r, 1.0 / r as f64).map(|w| w.1))
+            .fold(f64::INFINITY, f64::min);
+        out.push(best);
+        if t < t_max {
+            p = step(g, &p, opts.kind);
+        }
+    }
+    out
+}
+
+/// The restricted-distance trace `t ↦ ‖p_tS − π_S‖₁` for a **fixed** set `S`
+/// on a regular graph (flat target `1/|S|`).
+pub fn restricted_trace(
+    g: &Graph,
+    src: usize,
+    set: &[usize],
+    kind: WalkKind,
+    t_max: usize,
+) -> Vec<f64> {
+    assert!(!set.is_empty(), "restricted trace needs a non-empty set");
+    let target = 1.0 / set.len() as f64;
+    let mut out = Vec::with_capacity(t_max + 1);
+    let mut p = Dist::point(g.n(), src);
+    for t in 0..=t_max {
+        let d: f64 = set.iter().map(|&u| (p.get(u) - target).abs()).sum();
+        out.push(d);
+        if t < t_max {
+            p = step(g, &p, kind);
+        }
+    }
+    out
+}
+
+/// Exponential brute force over **all** subsets of allowed sizes, valid for
+/// arbitrary (including non-regular) graphs with `n ≤ 20`: the acceptance
+/// test uses the true `π_S(v) = d(v)/µ(S)` target.
+///
+/// Only the `s ∈ S` semantics of Definition 2 is offered (`require_source`
+/// equivalent); used to validate the window oracle.
+pub fn brute_force_local_mixing_time(
+    g: &Graph,
+    src: usize,
+    beta: f64,
+    eps: f64,
+    kind: WalkKind,
+    max_t: usize,
+) -> Option<(usize, Vec<usize>)> {
+    let n = g.n();
+    assert!(n <= 20, "brute force limited to n ≤ 20");
+    let r_min = ((n as f64 / beta).ceil() as usize).clamp(1, n);
+    let mut p = Dist::point(n, src);
+    for t in 0..=max_t {
+        for mask in 0u32..(1 << n) {
+            if mask >> src & 1 == 0 {
+                continue;
+            }
+            let size = mask.count_ones() as usize;
+            if size < r_min {
+                continue;
+            }
+            let members: Vec<usize> = (0..n).filter(|&b| mask >> b & 1 == 1).collect();
+            let mu: usize = members.iter().map(|&u| g.degree(u)).sum();
+            if mu == 0 {
+                continue;
+            }
+            let dist: f64 = members
+                .iter()
+                .map(|&u| (p.get(u) - g.degree(u) as f64 / mu as f64).abs())
+                .sum();
+            if dist < eps {
+                return Some((t, members));
+            }
+        }
+        if t < max_t {
+            p = step(g, &p, kind);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    const EPS: f64 = 1.0 / (8.0 * std::f64::consts::E);
+
+    fn opts(beta: f64) -> LocalMixOptions {
+        LocalMixOptions::new(beta)
+    }
+
+    #[test]
+    fn complete_graph_local_equals_global() {
+        // §2.3(a): both are 1.
+        let g = gen::complete(32);
+        let r = local_mixing_time(&g, 0, &opts(4.0)).unwrap();
+        assert_eq!(r.tau, 1);
+    }
+
+    #[test]
+    fn barbell_locally_mixes_fast() {
+        // §2.3(d): τ_s = O(1) on the β-barbell — the walk flattens inside the
+        // source clique almost immediately, while global mixing needs Ω(β²).
+        let (rg, _) = gen::ring_of_cliques_regular(4, 16);
+        assert_eq!(lmt_graph::props::regularity(&rg), Some(15));
+        let r = local_mixing_time(&rg, 3, &opts(4.0)).unwrap();
+        assert!(r.tau <= 4, "expected O(1) local mixing, got {}", r.tau);
+        assert!(r.witness.size >= 16);
+    }
+
+    #[test]
+    fn nearly_regular_barbell_via_assume_flat() {
+        // The paper's own Figure 1 graph: ports have degree k, interiors k−1.
+        // AssumeFlat mirrors the paper's treatment and still finds O(1) τ_s.
+        let (g, _) = gen::barbell(4, 16);
+        let mut o = opts(4.0);
+        o.flat_policy = FlatPolicy::AssumeFlat;
+        let r = local_mixing_time(&g, 3, &o).unwrap();
+        assert!(r.tau <= 4, "expected O(1) local mixing, got {}", r.tau);
+    }
+
+    #[test]
+    fn beta_one_equals_global_mixing_time() {
+        // §2.2: τ_s(1, ε) = τ_mix_s(ε).
+        let g = gen::complete(16);
+        let local = local_mixing_time(&g, 0, &opts(1.0)).unwrap().tau;
+        let global = crate::mixing::mixing_time(&g, 0, EPS, WalkKind::Simple, 1000)
+            .unwrap()
+            .tau;
+        assert_eq!(local, global);
+    }
+
+    #[test]
+    fn monotone_in_beta() {
+        // §2.3: β₁ ≥ β₂ ⇒ τ_s(β₁) ≤ τ_s(β₂). Strict monotonicity is a
+        // property of the exact Definition 2 (all set sizes); the geometric
+        // grid can violate it by a step (see tests/properties.rs).
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let all = |beta: f64| {
+            let mut o = opts(beta);
+            o.grid = SizeGrid::All;
+            local_mixing_time(&g, 0, &o).unwrap().tau
+        };
+        let (t_beta4, t_beta2) = (all(4.0), all(2.0));
+        assert!(t_beta4 <= t_beta2, "τ(β=4)={t_beta4} > τ(β=2)={t_beta2}");
+    }
+
+    #[test]
+    fn oracle_matches_brute_force_on_small_regular_graph() {
+        let g = gen::cycle(8);
+        let mut o = opts(2.0);
+        o.kind = WalkKind::Lazy;
+        o.grid = SizeGrid::All;
+        o.require_source = true;
+        let fast = local_mixing_time(&g, 0, &o).unwrap().tau;
+        let (brute, _) =
+            brute_force_local_mixing_time(&g, 0, 2.0, o.eps, WalkKind::Lazy, 1000).unwrap();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn oracle_matches_brute_force_complete() {
+        let g = gen::complete(8);
+        let mut o = opts(2.0);
+        o.grid = SizeGrid::All;
+        o.require_source = true;
+        let fast = local_mixing_time(&g, 3, &o).unwrap().tau;
+        let (brute, _) =
+            brute_force_local_mixing_time(&g, 3, 2.0, o.eps, WalkKind::Simple, 100).unwrap();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn geometric_grid_contains_bounds() {
+        let o = opts(8.0);
+        let sizes = size_grid(256, &o);
+        assert_eq!(*sizes.first().unwrap(), 32);
+        assert_eq!(*sizes.last().unwrap(), 256);
+        for w in sizes.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        let all = size_grid(16, &LocalMixOptions {
+            grid: SizeGrid::All,
+            ..opts(4.0)
+        });
+        assert_eq!(all, (4..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn non_regular_rejected_by_window_oracle() {
+        let g = gen::star(8);
+        let err = local_mixing_time(&g, 0, &opts(2.0)).unwrap_err();
+        assert_eq!(err, LocalMixError::NotRegular);
+    }
+
+    #[test]
+    fn witness_nodes_are_distinct_and_sized() {
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        let r = local_mixing_time(&g, 0, &opts(3.0)).unwrap();
+        let mut nodes = r.witness.nodes.clone();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), r.witness.size);
+    }
+
+    #[test]
+    fn require_source_never_smaller_tau() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let free = local_mixing_time(&g, 5, &opts(4.0)).unwrap().tau;
+        let mut o = opts(4.0);
+        o.require_source = true;
+        let constrained = local_mixing_time(&g, 5, &o).unwrap().tau;
+        assert!(constrained >= free);
+    }
+
+    #[test]
+    fn restricted_trace_hits_zero_distance_region() {
+        let (g, spec) = gen::ring_of_cliques(4, 8);
+        let set: Vec<usize> = spec.clique_nodes(0).collect();
+        let trace = restricted_trace(&g, 1, &set, WalkKind::Simple, 20);
+        // Initially far from flat (all mass on source).
+        assert!(trace[0] > 1.0);
+        // Quickly becomes small inside the source clique.
+        let min = trace.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(min < 0.3, "min restricted distance {min}");
+    }
+
+    #[test]
+    fn local_profile_length() {
+        let g = gen::complete(8);
+        let prof = local_profile(&g, 0, &opts(2.0), 5);
+        assert_eq!(prof.len(), 6);
+        assert!(prof[1] < prof[0]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Global mixing time `τ_mix_s(ε)` (Definition 1) and distance traces.
+
+use crate::stationary::stationary;
+use crate::step::{step, Trajectory, WalkKind};
+use crate::Dist;
+use lmt_graph::Graph;
+
+/// Outcome of a mixing-time computation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MixingResult {
+    /// `τ_mix_s(ε) = min{t : ‖p_t − π‖₁ < ε}`.
+    pub tau: usize,
+    /// The distance `‖p_τ − π‖₁` actually achieved.
+    pub achieved: f64,
+}
+
+/// Errors from mixing-time computations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MixingError {
+    /// The distance did not drop below ε within `max_t` steps. For simple
+    /// walks on bipartite graphs this is expected (footnote 5 of the paper);
+    /// use [`WalkKind::Lazy`].
+    NotMixedWithin(usize),
+}
+
+impl std::fmt::Display for MixingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MixingError::NotMixedWithin(t) => {
+                write!(f, "walk did not ε-mix within {t} steps (bipartite graph with a simple walk?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MixingError {}
+
+/// Compute `τ_mix_s(ε)` by stepping `p_t` from the point mass at `src` until
+/// `‖p_t − π‖₁ < ε`, up to `max_t` steps.
+///
+/// By Lemma 1 the global L1 distance is non-increasing, so the first `t`
+/// below ε is *the* mixing time — no search structure needed.
+pub fn mixing_time(
+    g: &Graph,
+    src: usize,
+    eps: f64,
+    kind: WalkKind,
+    max_t: usize,
+) -> Result<MixingResult, MixingError> {
+    assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0,1)");
+    let pi = stationary(g);
+    let mut p = Dist::point(g.n(), src);
+    for t in 0..=max_t {
+        let d = p.l1_distance(&pi);
+        if d < eps {
+            return Ok(MixingResult {
+                tau: t,
+                achieved: d,
+            });
+        }
+        if t < max_t {
+            p = step(g, &p, kind);
+        }
+    }
+    Err(MixingError::NotMixedWithin(max_t))
+}
+
+/// The graph mixing time `τ_mix(ε) = max_v τ_mix_v(ε)` (Definition 1),
+/// computed exactly by running every source.
+pub fn graph_mixing_time(
+    g: &Graph,
+    eps: f64,
+    kind: WalkKind,
+    max_t: usize,
+) -> Result<usize, MixingError> {
+    let mut worst = 0;
+    for s in 0..g.n() {
+        worst = worst.max(mixing_time(g, s, eps, kind, max_t)?.tau);
+    }
+    Ok(worst)
+}
+
+/// The trace `t ↦ ‖p_t − π‖₁` for `t = 0..=t_max` (Lemma 1 asserts this is
+/// non-increasing; experiment T9 checks it against the *restricted* trace,
+/// which is not).
+pub fn l1_trace(g: &Graph, src: usize, kind: WalkKind, t_max: usize) -> Vec<f64> {
+    let pi = stationary(g);
+    Trajectory::new(g, Dist::point(g.n(), src), kind)
+        .take(t_max + 1)
+        .map(|p| p.l1_distance(&pi))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    const EPS: f64 = 1.0 / (8.0 * std::f64::consts::E); // paper's 1/8e
+
+    #[test]
+    fn complete_graph_mixes_in_one_step() {
+        // §2.3(a): mixing time of K_n is 1 (ε-near for reasonable ε).
+        let g = gen::complete(64);
+        let r = mixing_time(&g, 0, EPS, WalkKind::Simple, 10).unwrap();
+        assert_eq!(r.tau, 1);
+    }
+
+    #[test]
+    fn bipartite_simple_walk_never_mixes() {
+        let g = gen::cycle(6);
+        let err = mixing_time(&g, 0, EPS, WalkKind::Simple, 500).unwrap_err();
+        assert_eq!(err, MixingError::NotMixedWithin(500));
+    }
+
+    #[test]
+    fn bipartite_lazy_walk_mixes() {
+        let g = gen::cycle(6);
+        let r = mixing_time(&g, 0, EPS, WalkKind::Lazy, 500).unwrap();
+        assert!(r.tau > 0);
+        assert!(r.achieved < EPS);
+    }
+
+    #[test]
+    fn trace_is_monotone_lemma1() {
+        let (g, _) = gen::barbell(3, 4);
+        let trace = l1_trace(&g, 0, WalkKind::Lazy, 200);
+        for w in trace.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-12,
+                "global L1 distance increased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn path_mixing_grows_quadratically() {
+        // §2.3(c): τ_mix(P_n) = O(n²); check the ratio between n and 2n.
+        let t16 = mixing_time(&gen::path(16), 0, EPS, WalkKind::Lazy, 100_000)
+            .unwrap()
+            .tau as f64;
+        let t32 = mixing_time(&gen::path(32), 0, EPS, WalkKind::Lazy, 100_000)
+            .unwrap()
+            .tau as f64;
+        let ratio = t32 / t16;
+        assert!(
+            (2.5..6.5).contains(&ratio),
+            "doubling n should ≈4x the mixing time, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn graph_mixing_time_is_max_over_sources() {
+        let g = gen::lollipop(5, 3);
+        let gm = graph_mixing_time(&g, EPS, WalkKind::Lazy, 10_000).unwrap();
+        let from_tail = mixing_time(&g, g.n() - 1, EPS, WalkKind::Lazy, 10_000)
+            .unwrap()
+            .tau;
+        assert!(gm >= from_tail);
+    }
+
+    #[test]
+    #[should_panic(expected = "(0,1)")]
+    fn bad_eps_rejected() {
+        let g = gen::path(4);
+        let _ = mixing_time(&g, 0, 1.5, WalkKind::Lazy, 10);
+    }
+}

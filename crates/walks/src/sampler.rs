@@ -1,0 +1,121 @@
+//! Token-level random-walk sampling.
+//!
+//! Two uses in the reproduction:
+//! * the **Das Sarma et al. \[10\] baseline** estimates the walk distribution
+//!   empirically from many independent walk endpoints and compares it to the
+//!   stationary distribution;
+//! * the push–pull analysis of Theorem 3 treats a token's trajectory as a
+//!   random walk, and tests validate that picture.
+
+use crate::Dist;
+use lmt_graph::Graph;
+use lmt_util::rng::fork;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Walk a single token for `len` steps from `src`; returns the endpoint.
+pub fn walk_endpoint(g: &Graph, src: usize, len: usize, seed: u64) -> usize {
+    let mut rng = fork(seed, 0x77A1_C0DE);
+    let mut at = src;
+    for _ in 0..len {
+        let d = g.degree(at);
+        assert!(d > 0, "walk stuck at isolated node {at}");
+        at = g.neighbor(at, rng.gen_range(0..d));
+    }
+    at
+}
+
+/// Run `walks` independent walks of length `len` from `src` (rayon-parallel,
+/// deterministic in `seed`) and return endpoint counts per node.
+pub fn endpoint_counts(g: &Graph, src: usize, len: usize, walks: usize, seed: u64) -> Vec<u64> {
+    let counts = (0..walks)
+        .into_par_iter()
+        .fold(
+            || vec![0u64; g.n()],
+            |mut acc, i| {
+                let end = walk_endpoint(g, src, len, fork(seed, i as u64).gen());
+                acc[end] += 1;
+                acc
+            },
+        )
+        .reduce(
+            || vec![0u64; g.n()],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    counts
+}
+
+/// Empirical endpoint distribution `p̂_len` from `walks` samples.
+pub fn empirical_distribution(
+    g: &Graph,
+    src: usize,
+    len: usize,
+    walks: usize,
+    seed: u64,
+) -> Dist {
+    assert!(walks > 0, "need at least one walk");
+    let counts = endpoint_counts(g, src, len, walks, seed);
+    Dist::from_vec(
+        counts
+            .into_iter()
+            .map(|c| c as f64 / walks as f64)
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{evolve, WalkKind};
+    use lmt_graph::gen;
+
+    #[test]
+    fn endpoint_deterministic_in_seed() {
+        let g = gen::cycle(12);
+        let a = walk_endpoint(&g, 0, 100, 5);
+        let b = walk_endpoint(&g, 0, 100, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_length_walk_stays_home() {
+        let g = gen::path(4);
+        assert_eq!(walk_endpoint(&g, 2, 0, 9), 2);
+        let d = empirical_distribution(&g, 2, 0, 50, 1);
+        assert_eq!(d.get(2), 1.0);
+    }
+
+    #[test]
+    fn counts_sum_to_walks() {
+        let g = gen::complete(6);
+        let counts = endpoint_counts(&g, 0, 3, 500, 42);
+        assert_eq!(counts.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn empirical_approaches_exact_distribution() {
+        let g = gen::complete(8);
+        let len = 2;
+        let exact = evolve(&g, &Dist::point(8, 0), WalkKind::Simple, len);
+        let emp = empirical_distribution(&g, 0, len, 40_000, 7);
+        // L1 error of the empirical estimate should be tiny at 40k samples.
+        assert!(
+            emp.l1_distance(&exact) < 0.05,
+            "L1 = {}",
+            emp.l1_distance(&exact)
+        );
+    }
+
+    #[test]
+    fn parallel_reduction_deterministic() {
+        let g = gen::grid(4, 4);
+        let a = endpoint_counts(&g, 0, 10, 2000, 3);
+        let b = endpoint_counts(&g, 0, 10, 2000, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Stationary distributions, global and restricted (§2.2).
+
+use crate::Dist;
+use lmt_graph::Graph;
+use lmt_util::BitSet;
+
+/// The stationary distribution `π(v) = d(v)/2m` of a connected undirected
+/// graph (identical for simple and lazy walks).
+///
+/// # Panics
+/// Panics if the graph has no edges.
+pub fn stationary(g: &Graph) -> Dist {
+    let two_m = g.total_volume();
+    assert!(two_m > 0, "stationary distribution undefined for edgeless graph");
+    Dist::from_vec(
+        (0..g.n())
+            .map(|v| g.degree(v) as f64 / two_m as f64)
+            .collect(),
+    )
+}
+
+/// The restricted stationary vector `π_S` of §2.2:
+/// `π_S(v) = d(v)/µ(S)` for `v ∈ S`, 0 elsewhere. A true distribution on `S`.
+///
+/// # Panics
+/// Panics if `µ(S) = 0`.
+pub fn stationary_restricted(g: &Graph, s: &BitSet) -> Dist {
+    assert_eq!(s.capacity(), g.n(), "stationary_restricted: size mismatch");
+    let mu: usize = s.iter().map(|v| g.degree(v)).sum();
+    assert!(mu > 0, "π_S undefined: set has zero volume");
+    let mut p = vec![0.0; g.n()];
+    for v in s.iter() {
+        p[v] = g.degree(v) as f64 / mu as f64;
+    }
+    Dist::from_vec(p)
+}
+
+/// For a `d`-regular graph, `π_S` is flat `1/|S|`; this helper returns that
+/// value for a set size (what Algorithm 2's per-node difference uses).
+#[inline]
+pub fn flat_target(set_size: usize) -> f64 {
+    assert!(set_size > 0, "flat_target: empty set");
+    1.0 / set_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let g = gen::lollipop(5, 3);
+        let pi = stationary(&g);
+        assert!(pi.check_mass(1e-12).is_ok());
+        // Higher degree ⇒ higher mass.
+        assert!(pi.get(0) > pi.get(7));
+    }
+
+    #[test]
+    fn regular_graph_stationary_is_uniform() {
+        let g = gen::cycle(8);
+        let pi = stationary(&g);
+        for v in 0..8 {
+            assert!((pi.get(v) - 0.125).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn restricted_is_probability_on_set() {
+        let g = gen::path(5); // degrees 1,2,2,2,1
+        let mut s = BitSet::new(5);
+        s.insert(1);
+        s.insert(2);
+        let pis = stationary_restricted(&g, &s);
+        assert!((pis.mass() - 1.0).abs() < 1e-12);
+        assert!((pis.get(1) - 0.5).abs() < 1e-12);
+        assert_eq!(pis.get(0), 0.0);
+    }
+
+    #[test]
+    fn restricted_full_set_is_stationary() {
+        let (g, _) = gen::barbell(2, 4);
+        let full = BitSet::full(g.n());
+        let a = stationary_restricted(&g, &full);
+        let b = stationary(&g);
+        assert!(a.l1_distance(&b) < 1e-12);
+    }
+
+    #[test]
+    fn flat_target_value() {
+        assert!((flat_target(4) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero volume")]
+    fn empty_set_restricted_panics() {
+        let g = gen::path(3);
+        let _ = stationary_restricted(&g, &BitSet::new(3));
+    }
+}

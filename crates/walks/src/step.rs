@@ -1,0 +1,160 @@
+//! One step of the walk operator: `p ↦ A p`, where `A` is the transpose of
+//! the transition matrix (§2.1).
+
+use crate::Dist;
+use lmt_graph::Graph;
+use rayon::prelude::*;
+
+/// Which walk the distribution evolves under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WalkKind {
+    /// Simple random walk: from `u`, move to a uniform neighbor.
+    /// Undefined mixing on bipartite graphs (§2.1, footnote 5).
+    Simple,
+    /// Lazy walk: stay put with probability 1/2, else move to a uniform
+    /// neighbor. Well-defined mixing on every connected graph.
+    Lazy,
+}
+
+/// Threshold above which stepping parallelizes over nodes.
+const PAR_THRESHOLD: usize = 4096;
+
+/// Compute `p_{t+1}` from `p_t`:
+/// `p'(v) = Σ_{u ∈ N(v)} p(u)/d(u)` (simple), with the lazy 1/2-mixture for
+/// [`WalkKind::Lazy`].
+///
+/// Pull-based (each output node gathers from its neighbors), so the parallel
+/// and sequential paths produce bit-identical results: each `p'(v)` sums in
+/// neighbor-sorted order regardless of scheduling.
+pub fn step(g: &Graph, p: &Dist, kind: WalkKind) -> Dist {
+    assert_eq!(p.n(), g.n(), "step: distribution/graph size mismatch");
+    let ps = p.as_slice();
+    let pull = |v: usize| -> f64 {
+        let inflow: f64 = g
+            .neighbors(v)
+            .map(|u| {
+                let d = g.degree(u);
+                debug_assert!(d > 0);
+                ps[u] / d as f64
+            })
+            .sum();
+        match kind {
+            WalkKind::Simple => inflow,
+            WalkKind::Lazy => 0.5 * ps[v] + 0.5 * inflow,
+        }
+    };
+    let out: Vec<f64> = if g.n() >= PAR_THRESHOLD {
+        (0..g.n()).into_par_iter().map(pull).collect()
+    } else {
+        (0..g.n()).map(pull).collect()
+    };
+    Dist::from_vec(out)
+}
+
+/// Run `t` steps from `p0`.
+pub fn evolve(g: &Graph, p0: &Dist, kind: WalkKind, t: usize) -> Dist {
+    let mut p = p0.clone();
+    for _ in 0..t {
+        p = step(g, &p, kind);
+    }
+    p
+}
+
+/// Iterator over `p_0, p_1, p_2, …` (inclusive of the start).
+pub struct Trajectory<'g> {
+    g: &'g Graph,
+    kind: WalkKind,
+    next: Option<Dist>,
+}
+
+impl<'g> Trajectory<'g> {
+    /// Start a trajectory at `p0`.
+    pub fn new(g: &'g Graph, p0: Dist, kind: WalkKind) -> Self {
+        assert_eq!(p0.n(), g.n(), "trajectory: size mismatch");
+        Trajectory {
+            g,
+            kind,
+            next: Some(p0),
+        }
+    }
+}
+
+impl Iterator for Trajectory<'_> {
+    type Item = Dist;
+
+    fn next(&mut self) -> Option<Dist> {
+        let cur = self.next.take()?;
+        self.next = Some(step(self.g, &cur, self.kind));
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    #[test]
+    fn complete_graph_one_step_is_near_uniform() {
+        // §2.3(a): after one step from s, mass is 1/(n−1) on every other node.
+        let g = gen::complete(5);
+        let p1 = step(&g, &Dist::point(5, 0), WalkKind::Simple);
+        assert_eq!(p1.get(0), 0.0);
+        for v in 1..5 {
+            assert!((p1.get(v) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let g = gen::grid(4, 4);
+        let mut p = Dist::point(16, 5);
+        for _ in 0..50 {
+            p = step(&g, &p, WalkKind::Simple);
+            assert!(p.check_mass(1e-9).is_ok());
+        }
+    }
+
+    #[test]
+    fn lazy_keeps_half() {
+        let g = gen::path(3);
+        let p1 = step(&g, &Dist::point(3, 0), WalkKind::Lazy);
+        assert!((p1.get(0) - 0.5).abs() < 1e-12);
+        assert!((p1.get(1) - 0.5).abs() < 1e-12);
+        assert_eq!(p1.get(2), 0.0);
+    }
+
+    #[test]
+    fn evolve_matches_repeated_step() {
+        let g = gen::cycle(7);
+        let p0 = Dist::point(7, 0);
+        let via_evolve = evolve(&g, &p0, WalkKind::Lazy, 5);
+        let mut p = p0;
+        for _ in 0..5 {
+            p = step(&g, &p, WalkKind::Lazy);
+        }
+        assert_eq!(via_evolve, p);
+    }
+
+    #[test]
+    fn trajectory_yields_start_first() {
+        let g = gen::path(4);
+        let mut tr = Trajectory::new(&g, Dist::point(4, 1), WalkKind::Lazy);
+        let p0 = tr.next().unwrap();
+        assert_eq!(p0.get(1), 1.0);
+        let p1 = tr.next().unwrap();
+        assert!(p1.get(1) > 0.0 && p1.get(0) > 0.0);
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        // π(v) = d(v)/2m is invariant under the simple-walk operator.
+        let (g, _) = gen::barbell(2, 4);
+        let two_m = g.total_volume() as f64;
+        let pi = Dist::from_vec((0..g.n()).map(|v| g.degree(v) as f64 / two_m).collect());
+        let stepped = step(&g, &pi, WalkKind::Simple);
+        assert!(pi.l1_distance(&stepped) < 1e-12);
+        let lazy_stepped = step(&g, &pi, WalkKind::Lazy);
+        assert!(pi.l1_distance(&lazy_stepped) < 1e-12);
+    }
+}

@@ -1,0 +1,45 @@
+//! §1.2 in practice: three distributed estimators side by side on one graph
+//! — the flood-based global mixing estimator ([18]-style), the sampling
+//! model ([10]-style, with its accuracy floor), and Algorithm 2's local
+//! mixing time.
+//!
+//! Run: `cargo run --release --example estimator_comparison`
+
+use local_mixing_repro::prelude::*;
+
+fn main() {
+    let (graph, _) = gen::ring_of_cliques_regular(8, 32);
+    let src = 0;
+    let cfg = AlgoConfig::new(8.0);
+    println!("workload: clique-ring(8, 32), n = {}\n", graph.n());
+
+    let flood = estimate_global_mixing_time(&graph, src, &cfg).expect("flood estimator");
+    println!(
+        "[18]-style flood estimator:   τ̂_mix = {:>6}   rounds = {}",
+        flood.tau, flood.metrics.rounds
+    );
+
+    for walks in [100usize, 10_000] {
+        let samp = das_sarma_style_estimate(&graph, src, &cfg, walks);
+        println!(
+            "[10]-style sampling (K={walks:>5}): τ̂_mix = {:>6}   rounds = {}   accuracy floor = {:.3}{}",
+            samp.tau.map_or("∞".to_string(), |v| v.to_string()),
+            samp.rounds_charged,
+            samp.accuracy_floor,
+            if samp.accuracy_floor > cfg.eps {
+                "  << grey area: floor > ε, estimate unreliable"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let local = local_mixing_time_approx(&graph, src, &cfg).expect("algorithm 2");
+    println!(
+        "Algorithm 2 (local, β = 8):   ℓ     = {:>6}   rounds = {}",
+        local.ell, local.metrics.rounds
+    );
+    println!(
+        "\ntakeaway: on clique chains the local mixing time (and its round cost) is orders of\nmagnitude below the global mixing time — the paper's case for the finer measure."
+    );
+}

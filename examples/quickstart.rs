@@ -1,0 +1,64 @@
+//! Quickstart: compute the local mixing time of a graph three ways —
+//! centralized oracle, distributed 2-approximation (Algorithm 2), and the
+//! exact distributed variant — and inspect the CONGEST cost.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use local_mixing_repro::prelude::*;
+
+fn main() {
+    // A "β-barbell"-style workload: 4 cliques of 32 nodes in a ring,
+    // regularized so the paper's §3 regularity assumption holds exactly.
+    let (graph, spec) = gen::ring_of_cliques_regular(4, 32);
+    let source = 3; // an interior node of the first clique
+    let beta = 4.0;
+    println!(
+        "graph: {} cliques of {} nodes, n = {}, m = {}, {}-regular",
+        spec.beta,
+        spec.clique_size,
+        graph.n(),
+        graph.m(),
+        props::regularity(&graph).unwrap()
+    );
+
+    // 1. Ground truth (centralized oracle, Definition 2 semantics on the
+    //    paper's geometric size grid).
+    let opts = LocalMixOptions::new(beta);
+    let oracle = local_mixing_time(&graph, source, &opts).expect("oracle");
+    println!(
+        "oracle:        τ_s(β={beta}, ε=1/8e) = {} (witness set size {})",
+        oracle.tau, oracle.witness.size
+    );
+
+    // 2. The global mixing time, for contrast (§2.3: Ω(β²·k) here).
+    let eps = opts.eps;
+    let tau_mix = mixing_time(&graph, source, eps, WalkKind::Simple, 1_000_000)
+        .expect("mixing time")
+        .tau;
+    println!("for contrast:  τ_mix_s(ε) = {tau_mix}  (local ≪ global on clique chains)");
+
+    // 3. Distributed Algorithm 2 on the CONGEST simulator.
+    let cfg = AlgoConfig::new(beta);
+    let approx = local_mixing_time_approx(&graph, source, &cfg).expect("algorithm 2");
+    println!(
+        "Algorithm 2:   ℓ = {} (accepted set size {}), {} rounds, {} messages, ≤{} bits/edge/round",
+        approx.ell,
+        approx.accepted_size,
+        approx.metrics.rounds,
+        approx.metrics.messages,
+        approx.metrics.max_edge_bits
+    );
+
+    // 4. The exact distributed variant (§3.2).
+    let exact = local_mixing_time_exact_distributed(&graph, source, &cfg).expect("exact");
+    println!(
+        "exact variant: τ = {} in {} rounds (Theorem 2 pays a D̃ factor over Algorithm 2)",
+        exact.ell, exact.metrics.rounds
+    );
+
+    assert!(exact.ell <= approx.ell && approx.ell < 2 * exact.ell.max(1) + 1);
+    println!(
+        "✓ 2-approximation bracket holds: {} ≤ {} ≤ 2·{}",
+        exact.ell, approx.ell, exact.ell
+    );
+}

@@ -1,0 +1,109 @@
+//! Cross-crate property-based tests (proptest): randomized graphs and
+//! parameters exercising the paper's invariants.
+
+use local_mixing_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a connected random-regular graph spec (n even·d constraints).
+fn regular_spec() -> impl Strategy<Value = (usize, usize, u64)> {
+    (4usize..40, 3usize..6, any::<u64>()).prop_map(|(half_n, d, seed)| {
+        let mut n = 2 * half_n;
+        if n <= d {
+            n = d + 2 + (d % 2); // keep n·d even and n > d
+        }
+        (n, d, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Lemma 1: the global L1 distance to stationarity never increases.
+    #[test]
+    fn lemma1_global_distance_monotone((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let trace = l1_trace(&g, 0, WalkKind::Lazy, 60);
+        for w in trace.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    /// Mass conservation under both walk kinds.
+    #[test]
+    fn walk_conserves_mass((n, d, seed) in regular_spec(), lazy in any::<bool>()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let kind = if lazy { WalkKind::Lazy } else { WalkKind::Simple };
+        let mut p = Dist::point(n, n / 2);
+        for _ in 0..25 {
+            p = lmt_walks::step::step(&g, &p, kind);
+        }
+        prop_assert!(p.check_mass(1e-9).is_ok());
+    }
+
+    /// β-monotonicity (§2.3): larger β ⇒ no larger τ_s — under the exact
+    /// Definition 2 semantics (`SizeGrid::All`). With the paper's geometric
+    /// grid this can break by a step, because the β₁ grid need not contain
+    /// the exact size the β₂ run accepted at (the very gap Lemma 3's 4ε
+    /// relaxation exists to cover).
+    #[test]
+    fn tau_monotone_in_beta((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        prop_assume!(props::bipartition(&g).is_none());
+        let tau = |beta: f64| {
+            let mut o = LocalMixOptions::new(beta);
+            o.grid = SizeGrid::All;
+            o.max_t = 1 << 16;
+            local_mixing_time(&g, 0, &o).map(|r| r.tau)
+        };
+        let (t2, t4) = (tau(2.0), tau(4.0));
+        if let (Ok(a), Ok(b)) = (t2, t4) {
+            prop_assert!(b <= a, "τ(4)={b} > τ(2)={a}");
+        }
+    }
+
+    /// The distributed exact algorithm never exceeds the oracle's ε-accept
+    /// time (its 4ε test is weaker) on random regular graphs.
+    #[test]
+    fn exact_distributed_bounded_by_oracle((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        prop_assume!(props::bipartition(&g).is_none());
+        let mut o = LocalMixOptions::new(2.0);
+        o.max_t = 1 << 14;
+        let oracle = local_mixing_time(&g, 0, &o);
+        prop_assume!(oracle.is_ok());
+        let mut cfg = AlgoConfig::new(2.0);
+        cfg.max_len = 1 << 14;
+        let exact = local_mixing_time_exact_distributed(&g, 0, &cfg).unwrap();
+        prop_assert!(exact.ell <= oracle.unwrap().tau.max(1) as u64);
+    }
+
+    /// Gossip coverage is monotone in rounds and eventually β-spreads on
+    /// connected non-trivial graphs.
+    #[test]
+    fn gossip_coverage_monotone((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let mut gossip = Gossip::new(&g, GossipMode::Local, seed);
+        let mut prev = coverage_stats(&gossip);
+        for _ in 0..20 {
+            gossip.step();
+            let cur = coverage_stats(&gossip);
+            prop_assert!(cur.min_token_reach >= prev.min_token_reach);
+            prop_assert!(cur.min_node_tokens >= prev.min_node_tokens);
+            prev = cur;
+        }
+    }
+
+    /// Graph I/O round-trips arbitrary Erdős–Rényi graphs.
+    #[test]
+    fn graph_io_roundtrip(n in 2usize..60, p in 0.05f64..0.9, seed in any::<u64>()) {
+        let g = gen::erdos_renyi(n, p, seed);
+        let text = lmt_graph::io::to_string(&g);
+        let back = lmt_graph::io::from_str(&text).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}

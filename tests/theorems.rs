@@ -1,0 +1,162 @@
+//! Integration tests for the paper's three theorems, run end-to-end across
+//! the workspace crates: oracle (lmt-walks) vs distributed algorithms
+//! (lmt-core on lmt-congest) vs gossip (lmt-gossip).
+
+use local_mixing_repro::prelude::*;
+
+const SEEDS: [u64; 2] = [11, 47];
+
+fn workloads() -> Vec<(String, Graph, usize, f64)> {
+    vec![
+        ("complete(64)".into(), gen::complete(64), 0, 4.0),
+        (
+            "expander(96,8)".into(),
+            gen::random_regular(96, 8, 5),
+            0,
+            4.0,
+        ),
+        (
+            "clique-ring(4,32)".into(),
+            gen::ring_of_cliques_regular(4, 32).0,
+            1,
+            4.0,
+        ),
+        (
+            "clique-ring(8,16)".into(),
+            gen::ring_of_cliques_regular(8, 16).0,
+            0,
+            8.0,
+        ),
+    ]
+}
+
+/// Theorem 1 + Theorem 2 consistency: exact ≤ approx < 2·exact (both under
+/// the same acceptance semantics), on every workload and seed.
+#[test]
+fn theorem1_two_approximation_bracket() {
+    for (name, g, src, beta) in workloads() {
+        for seed in SEEDS {
+            let mut cfg = AlgoConfig::new(beta);
+            cfg.seed = seed;
+            let exact = local_mixing_time_exact_distributed(&g, src, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: exact failed: {e}"));
+            let approx = local_mixing_time_approx(&g, src, &cfg)
+                .unwrap_or_else(|e| panic!("{name}: approx failed: {e}"));
+            assert!(
+                exact.ell <= approx.ell,
+                "{name} seed {seed}: exact {} > approx {}",
+                exact.ell,
+                approx.ell
+            );
+            assert!(
+                approx.ell < 2 * exact.ell.max(1),
+                "{name} seed {seed}: approx {} ≥ 2·exact {}",
+                approx.ell,
+                exact.ell
+            );
+        }
+    }
+}
+
+/// Theorem 1 rounds: measured ≤ C · τ·log²n·log_{1+ε}β with a fixed C.
+#[test]
+fn theorem1_round_bound() {
+    for (name, g, src, beta) in workloads() {
+        let cfg = AlgoConfig::new(beta);
+        let r = local_mixing_time_approx(&g, src, &cfg).unwrap();
+        let n = g.n() as f64;
+        let log_n = n.log2();
+        let log_beta = (beta.ln() / (1.0 + cfg.eps).ln()).max(1.0);
+        let bound = 40.0 * r.ell as f64 * log_n * log_n * log_beta;
+        assert!(
+            (r.metrics.rounds as f64) < bound,
+            "{name}: rounds {} ≥ bound {bound}",
+            r.metrics.rounds
+        );
+    }
+}
+
+/// Theorem 2 rounds: measured ≤ C · τ·D̃·log n·log_{1+ε}β.
+#[test]
+fn theorem2_round_bound() {
+    for (name, g, src, beta) in workloads() {
+        let cfg = AlgoConfig::new(beta);
+        let r = local_mixing_time_exact_distributed(&g, src, &cfg).unwrap();
+        let d = props::diameter(&g).unwrap() as f64;
+        let d_tilde = d.min(r.ell as f64).max(1.0);
+        let n = g.n() as f64;
+        let log_beta = (beta.ln() / (1.0 + cfg.eps).ln()).max(1.0);
+        let bound = 40.0 * r.ell as f64 * d_tilde * n.log2() * log_beta;
+        assert!(
+            (r.metrics.rounds as f64) < bound,
+            "{name}: rounds {} ≥ bound {bound}",
+            r.metrics.rounds
+        );
+    }
+}
+
+/// The distributed output agrees with the centralized oracle up to the
+/// doubling factor and the 4ε-vs-ε acceptance slack: oracle τ(ε) is an
+/// upper bound for the exact algorithm's τ (its 4ε test is weaker), and the
+/// approx output is < 2·oracle τ(ε).
+#[test]
+fn distributed_vs_oracle_consistency() {
+    for (name, g, src, beta) in workloads() {
+        let mut opts = LocalMixOptions::new(beta);
+        opts.flat_policy = FlatPolicy::AssumeFlat;
+        let oracle = local_mixing_time(&g, src, &opts)
+            .unwrap_or_else(|e| panic!("{name}: oracle failed: {e}"));
+        let cfg = AlgoConfig::new(beta);
+        let exact = local_mixing_time_exact_distributed(&g, src, &cfg).unwrap();
+        let approx = local_mixing_time_approx(&g, src, &cfg).unwrap();
+        assert!(
+            exact.ell <= oracle.tau.max(1) as u64,
+            "{name}: exact {} > oracle {} (4ε test is weaker than ε)",
+            exact.ell,
+            oracle.tau
+        );
+        assert!(
+            approx.ell < 2 * oracle.tau.max(1) as u64,
+            "{name}: approx {} ≥ 2·oracle {}",
+            approx.ell,
+            oracle.tau
+        );
+    }
+}
+
+/// Theorem 3: push–pull reaches (δ,β)-partial spreading within
+/// C·τ(β,ε)·ln n rounds on every workload and seed.
+#[test]
+fn theorem3_partial_spreading_budget() {
+    for (name, g, src, beta) in workloads() {
+        let mut opts = LocalMixOptions::new(beta);
+        opts.flat_policy = FlatPolicy::AssumeFlat;
+        let tau = local_mixing_time(&g, src, &opts).unwrap().tau.max(1) as f64;
+        let budget = (8.0 * tau * (g.n() as f64).ln()).ceil() as u64;
+        for seed in SEEDS {
+            let rounds = rounds_to_beta_spread(&g, beta, GossipMode::Local, seed, budget);
+            assert!(
+                rounds.is_some(),
+                "{name} seed {seed}: no (δ,β)-spread within 8·τ·ln n = {budget}"
+            );
+        }
+    }
+}
+
+/// Footnote 10: the CONGEST-limited variant still spreads, within
+/// C·(τ·ln n + n/β).
+#[test]
+fn footnote10_congest_spreading_budget() {
+    for (name, g, src, beta) in workloads() {
+        let mut opts = LocalMixOptions::new(beta);
+        opts.flat_policy = FlatPolicy::AssumeFlat;
+        let tau = local_mixing_time(&g, src, &opts).unwrap().tau.max(1) as f64;
+        let theory = tau * (g.n() as f64).ln() + g.n() as f64 / beta;
+        let budget = (12.0 * theory).ceil() as u64;
+        let rounds = rounds_to_beta_spread(&g, beta, GossipMode::CongestLimited, 3, budget);
+        assert!(
+            rounds.is_some(),
+            "{name}: no CONGEST-limited spread within {budget}"
+        );
+    }
+}
