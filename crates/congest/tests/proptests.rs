@@ -17,6 +17,11 @@ fn connected_graph() -> impl Strategy<Value = lmt_graph::Graph> {
 }
 
 proptest! {
+    // 32 cases keeps this suite to a couple of seconds: each case builds a
+    // BFS tree and runs several full CONGEST protocols on a ≤30-node graph.
+    // Override per-run with the PROPTEST_CASES environment variable, e.g.
+    // `PROPTEST_CASES=256 cargo test -p lmt-congest` for a deeper sweep or
+    // `PROPTEST_CASES=4` for a fast CI smoke pass.
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Distributed BFS equals centralized BFS distances for every source.

@@ -16,6 +16,10 @@ fn connected_graph() -> impl Strategy<Value = lmt_graph::Graph> {
 }
 
 proptest! {
+    // 32 cases keeps this suite well under a minute: each case runs up to
+    // 40 gossip rounds (two processes for the domination/replay tests) on a
+    // ≤24-node graph. Override per-run with the PROPTEST_CASES environment
+    // variable (e.g. `PROPTEST_CASES=4` for a fast smoke pass).
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Token conservation: node i always holds its own token; total token

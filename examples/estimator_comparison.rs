@@ -19,8 +19,14 @@ fn main() {
         flood.tau, flood.metrics.rounds
     );
 
+    // Cap the sampling estimator's probe budget: in the grey area (accuracy
+    // floor > ε) it would otherwise probe doubling lengths all the way to
+    // cfg.max_len (4M), at K·ℓ walk-steps per probe — hours of wall clock
+    // for an answer that is "∞" either way.
+    let mut samp_cfg = cfg;
+    samp_cfg.max_len = 1 << 14;
     for walks in [100usize, 10_000] {
-        let samp = das_sarma_style_estimate(&graph, src, &cfg, walks);
+        let samp = das_sarma_style_estimate(&graph, src, &samp_cfg, walks);
         println!(
             "[10]-style sampling (K={walks:>5}): τ̂_mix = {:>6}   rounds = {}   accuracy floor = {:.3}{}",
             samp.tau.map_or("∞".to_string(), |v| v.to_string()),

@@ -1,0 +1,51 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::{Reject, Strategy};
+use crate::test_runner::TestRng;
+
+/// Acceptable length specifications for [`vec`]: a fixed `usize` or a
+/// `Range<usize>` of lengths.
+pub trait IntoLenRange {
+    /// Draw a length.
+    fn draw_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoLenRange for usize {
+    fn draw_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoLenRange for std::ops::Range<usize> {
+    fn draw_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty length range");
+        self.start + (rng.next_u64() as usize) % (self.end - self.start)
+    }
+}
+
+impl IntoLenRange for std::ops::RangeInclusive<usize> {
+    fn draw_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start() <= self.end(), "empty length range");
+        self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `elem` and a length drawn
+/// from `len`.
+pub fn vec<S: Strategy, L: IntoLenRange>(elem: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { elem, len }
+}
+
+/// See [`vec`].
+pub struct VecStrategy<S, L> {
+    elem: S,
+    len: L,
+}
+
+impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+        let n = self.len.draw_len(rng);
+        (0..n).map(|_| self.elem.new_value(rng)).collect()
+    }
+}

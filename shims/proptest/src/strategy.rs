@@ -1,0 +1,266 @@
+//! Strategies (value generators) and combinators.
+
+use crate::test_runner::TestRng;
+
+/// Generation-time rejection (e.g. a `prop_filter` predicate failed).
+#[derive(Clone, Debug)]
+pub struct Reject(pub &'static str);
+
+/// A source of random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking; a strategy
+/// simply draws a value (or rejects, to be retried by the runner).
+pub trait Strategy: Sized {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Transform generated values.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F> {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (retried by the runner).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F> {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Box the strategy (helper for heterogeneous collections of strategies).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(move |rng: &mut TestRng| self.new_value(rng)),
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> Result<U, Reject> {
+        self.inner.new_value(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S2::Value, Reject> {
+        let mid = self.inner.new_value(rng)?;
+        (self.f)(mid).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Result<S::Value, Reject> {
+        let v = self.inner.new_value(rng)?;
+        if (self.pred)(&v) {
+            Ok(v)
+        } else {
+            Err(Reject(self.reason))
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    #[allow(clippy::type_complexity)]
+    inner: Box<dyn Fn(&mut TestRng) -> Result<T, Reject>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        (self.inner)(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Types with a canonical full-range strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> Result<T, Reject> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// Full-range strategy for `T`: `any::<u64>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---- Ranges as strategies ------------------------------------------------
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                Ok((self.start as u128).wrapping_add(draw % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range strategy");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                if span == 0 {
+                    // Full u128 domain: the draw itself is uniform.
+                    return Ok(draw as $t);
+                }
+                Ok((lo as u128).wrapping_add(draw % span) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy_int!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> Result<$t, Reject> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let draw = <$u as Arbitrary>::arbitrary(rng) % span;
+                Ok(self.start.wrapping_add(draw as $t))
+            }
+        }
+    )*};
+}
+impl_range_strategy_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f64, Reject> {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // `lo + unit·(hi−lo)` can round up to exactly `hi`; clamp to keep
+        // the half-open contract.
+        let v = self.start + unit * (self.end - self.start);
+        Ok(if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        })
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> Result<f32, Reject> {
+        assert!(self.start < self.end, "empty range strategy");
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        let v = self.start + unit * (self.end - self.start);
+        Ok(if v >= self.end {
+            self.end.next_down().max(self.start)
+        } else {
+            v
+        })
+    }
+}
+
+// ---- Tuples of strategies ------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Ok(($($name.new_value(rng)?,)+))
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);

@@ -1,0 +1,236 @@
+//! The case runner: configuration, RNG, and the generate-run-report loop.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Successful cases required before the test passes.
+    pub cases: u32,
+    /// Upper bound on rejections (filter + assume) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+
+    /// Effective case count: the `PROPTEST_CASES` environment variable
+    /// overrides the configured value (used by CI to trade coverage for
+    /// wall-clock, exactly like upstream proptest).
+    ///
+    /// # Panics
+    /// Panics on an unparsable `PROPTEST_CASES` (matching upstream, which
+    /// aborts rather than silently testing with a different count). A value
+    /// of 0 is clamped to 1 — zero cases would make every property pass
+    /// vacuously.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(s) => s
+                .trim()
+                .parse::<u32>()
+                .unwrap_or_else(|e| panic!("invalid PROPTEST_CASES value {s:?}: {e}"))
+                .max(1),
+            Err(_) => self.cases.max(1),
+        }
+    }
+}
+
+/// Why a test-case body did not succeed.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// Discard this case; does not count toward the case budget.
+    Reject(String),
+    /// Genuine failure; aborts the test with a report.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discard with a reason.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The runner's RNG — SplitMix64, seeded deterministically per test.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from arbitrary bytes (the fully-qualified test name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name gives a stable, well-spread 64-bit seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next uniform 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Drive `body` over `config.effective_cases()` generated inputs.
+///
+/// Panics (failing the enclosing `#[test]`) on the first case failure,
+/// reporting the generated input via `Debug`, or when the rejection budget
+/// is exhausted before enough cases pass.
+pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: S, body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug + Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = config.effective_cases();
+    let mut rng = TestRng::from_name(test_name);
+    let mut rejects: u32 = 0;
+    let mut passed: u32 = 0;
+    while passed < cases {
+        if rejects > config.max_global_rejects {
+            panic!(
+                "{test_name}: too many rejected cases ({rejects}) after {passed}/{cases} passes \
+                 — loosen filters/assumptions"
+            );
+        }
+        let value = match strategy.new_value(&mut rng) {
+            Ok(v) => v,
+            Err(_) => {
+                rejects += 1;
+                continue;
+            }
+        };
+        let shown = value.clone();
+        match body(value) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => rejects += 1,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "{test_name}: property failed at case {passed}: {msg}\n\
+                     input: {shown:#?}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_passes_trivial_property() {
+        run_cases(
+            &ProptestConfig::with_cases(50),
+            "trivial",
+            (0u32..100,),
+            |(x,)| {
+                if x < 100 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("out of range"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn runner_reports_failure() {
+        run_cases(
+            &ProptestConfig::with_cases(50),
+            "failing",
+            (0u32..100,),
+            |(x,)| {
+                if x < 99 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail("hit 99"))
+                }
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected")]
+    fn runner_bounds_rejections() {
+        let cfg = ProptestConfig {
+            cases: 10,
+            max_global_rejects: 100,
+        };
+        run_cases(&cfg, "always_reject", (0u32..100,), |(_x,)| {
+            Err(TestCaseError::reject("never satisfied"))
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in 1usize..50, b in 1usize..50, v in crate::collection::vec(0u8..10, 0..8)) {
+            prop_assume!(a != b);
+            prop_assert!(a + b >= 2);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn macro_flat_map_and_filter(
+            (n, k) in (2usize..20).prop_flat_map(|n| (Just(n), 0..n)).prop_filter("k below n", |&(n, k)| k < n)
+        ) {
+            prop_assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn env_override_parses() {
+        let cfg = ProptestConfig::with_cases(64);
+        // Without the env var set, the configured count applies.
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(cfg.effective_cases(), 64);
+        }
+    }
+}

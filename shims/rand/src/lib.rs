@@ -1,0 +1,331 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the small slice of `rand`'s 0.8 API it actually uses. Semantics match
+//! `rand` where it matters to callers — uniformity, determinism under a fixed
+//! seed, `gen_range` bounds — but the stream values themselves are *not*
+//! bit-compatible with upstream `rand` (callers only rely on seeded
+//! reproducibility, never on specific stream constants).
+//!
+//! Generators are built on SplitMix64, which passes BigCrush and is more than
+//! adequate for simulation workloads.
+
+#![forbid(unsafe_code)]
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next uniform 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (SplitMix64 core).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            splitmix64(self.state)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        #[inline]
+        fn seed_from_u64(seed: u64) -> Self {
+            // Scramble the seed so nearby seeds do not give nearby states.
+            SmallRng {
+                state: splitmix64(seed ^ 0x6A09_E667_F3BC_C909),
+            }
+        }
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::gen`] (the subset of
+/// `rand`'s `Standard` distribution the workspace needs).
+pub trait Standard: Sized {
+    /// Sample one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Integer types usable as `gen_range` bounds.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform value in `[lo, hi)`; caller guarantees `lo < hi`.
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as u128).wrapping_sub(lo as u128);
+                // Multiply-shift rejection-free mapping is fine at simulation
+                // quality for spans far below 2^64; for u128 spans fall back
+                // to modulo of a 128-bit draw (bias ≤ 2^-64 per draw).
+                let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                (lo as u128).wrapping_add(draw % span) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                let draw = <$u>::sample(rng) % span;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize, i128 => u128);
+
+impl UniformInt for f64 {
+    #[inline]
+    fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        // `lo + unit·(hi−lo)` can round up to exactly `hi`; clamp to keep
+        // the half-open contract.
+        let v = lo + f64::sample(rng) * (hi - lo);
+        if v >= hi {
+            hi.next_down().max(lo)
+        } else {
+            v
+        }
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every bit source.
+pub trait Rng: RngCore {
+    /// Uniform value of type `T`.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform value in the half-open `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T {
+        assert!(
+            range.start < range.end,
+            "gen_range called with an empty range"
+        );
+        T::uniform_below(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers (`rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Random operations on iterators (reservoir sampling).
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Uniformly random element of the iterator, `None` when empty.
+        ///
+        /// Single-pass reservoir sampling: element `k` (0-based) replaces the
+        /// reservoir with probability `1/(k+1)`.
+        fn choose<R: Rng + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+            let mut picked = None;
+            for (k, item) in self.enumerate() {
+                if k == 0 || rng.gen_range(0..k + 1) == 0 {
+                    picked = Some(item);
+                }
+            }
+            picked
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::{IteratorRandom, SliceRandom};
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_reproduce() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..32 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds_all_widths() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(0u128..(1u128 << 90));
+            assert!(y < (1u128 << 90));
+            let f = r.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_f64_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut s = v.clone();
+        s.sort_unstable();
+        assert_eq!(s, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, s, "a 100-element shuffle is virtually never identity");
+    }
+
+    #[test]
+    fn iterator_choose_covers_support() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let x = (0..5usize).choose(&mut r).unwrap();
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(std::iter::empty::<u8>().choose(&mut r), None);
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(5);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "bucket count {c} far from 1000");
+        }
+    }
+}

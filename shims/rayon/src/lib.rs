@@ -1,0 +1,314 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors the
+//! parallel-iterator surface it uses, executed **sequentially**. This is
+//! observationally sound here because every `rayon` call site in the
+//! workspace is written to be scheduling-independent (per-node RNG streams,
+//! no shared mutable state), i.e. the parallel and sequential engines are
+//! specified to produce bit-identical results — this shim simply makes the
+//! "parallel" engine another sequential one. Swap in real `rayon` by
+//! repointing the workspace `rayon` path dependency; no call-site changes.
+//!
+//! `fold`/`reduce` keep rayon's two-phase semantics: `fold(identity, op)`
+//! yields a parallel iterator *of accumulators* (one per job; exactly one
+//! here), and `reduce(identity, op)` combines them.
+
+#![forbid(unsafe_code)]
+
+/// The adapter wrapping a sequential iterator behind rayon's names.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each element.
+    #[inline]
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Filter elements.
+    #[inline]
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter {
+            inner: self.inner.filter(f),
+        }
+    }
+
+    /// Pair each element with its index.
+    #[inline]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter {
+            inner: self.inner.enumerate(),
+        }
+    }
+
+    /// Zip with another parallel iterator (or anything convertible to one).
+    #[inline]
+    pub fn zip<Z: IntoParallelIterator>(
+        self,
+        other: Z,
+    ) -> ParIter<std::iter::Zip<I, Z::SeqIter>> {
+        ParIter {
+            inner: self.inner.zip(other.into_par_iter().inner),
+        }
+    }
+
+    /// Consume, applying `f` to each element.
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` container.
+    #[inline]
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Maximum element.
+    #[inline]
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.max()
+    }
+
+    /// Minimum element.
+    #[inline]
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.inner.min()
+    }
+
+    /// Sum of the elements.
+    #[inline]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.inner.count()
+    }
+
+    /// Rayon-style fold: produce a parallel iterator of per-job accumulators
+    /// (exactly one job in this sequential shim).
+    #[inline]
+    pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> ParIter<std::iter::Once<Acc>>
+    where
+        Id: Fn() -> Acc,
+        F: FnMut(Acc, I::Item) -> Acc,
+    {
+        let acc = self.inner.fold(identity(), fold_op);
+        ParIter {
+            inner: std::iter::once(acc),
+        }
+    }
+
+    /// Rayon-style reduce: combine all elements starting from `identity()`.
+    #[inline]
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    where
+        Id: Fn() -> I::Item,
+        Op: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Hint accepted for API compatibility; a no-op sequentially.
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a (sequentially executed) parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item;
+    /// The underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Item = I::Item;
+    type SeqIter = I;
+    #[inline]
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type SeqIter = std::ops::Range<T>;
+    #[inline]
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self }
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+    #[inline]
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    #[inline]
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter(),
+        }
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    #[inline]
+    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter(),
+        }
+    }
+}
+
+/// `par_iter` on shared references to collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed element type.
+    type Item: 'a;
+    /// The underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    #[inline]
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type SeqIter = std::slice::Iter<'a, T>;
+    #[inline]
+    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
+        ParIter { inner: self.iter() }
+    }
+}
+
+/// `par_iter_mut` on exclusive references to collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// The borrowed element type.
+    type Item: 'a;
+    /// The underlying sequential iterator.
+    type SeqIter: Iterator<Item = Self::Item>;
+    /// Mutably borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    #[inline]
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    type SeqIter = std::slice::IterMut<'a, T>;
+    #[inline]
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+        ParIter {
+            inner: self.iter_mut(),
+        }
+    }
+}
+
+/// What call sites import: `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_matches_sequential() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, (0..10usize).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_then_reduce_matches_rayon_semantics() {
+        // Histogram via fold + elementwise reduce, as the walk sampler does.
+        let counts: Vec<u64> = (0..100usize)
+            .into_par_iter()
+            .fold(
+                || vec![0u64; 4],
+                |mut acc, i| {
+                    acc[i % 4] += 1;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 4],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(counts, vec![25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn par_iter_mut_zip_enumerate() {
+        let mut xs = vec![0usize; 5];
+        let ys = vec![10usize, 20, 30, 40, 50];
+        xs.par_iter_mut()
+            .zip(ys.par_iter())
+            .enumerate()
+            .for_each(|(i, (x, y))| *x = i + *y);
+        assert_eq!(xs, vec![10, 21, 32, 43, 54]);
+    }
+
+    #[test]
+    fn max_and_sum() {
+        assert_eq!((0..7usize).into_par_iter().max(), Some(6));
+        let s: usize = (1..5usize).into_par_iter().sum();
+        assert_eq!(s, 10);
+    }
+}
