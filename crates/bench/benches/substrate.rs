@@ -9,6 +9,9 @@ use lmt_congest::flood::estimate_rw_probability;
 use lmt_congest::message::olog_budget;
 use lmt_congest::EngineKind;
 use lmt_graph::gen;
+use lmt_walks::sampler::endpoint_counts;
+use lmt_walks::step::evolve;
+use lmt_walks::{Dist, WalkKind};
 
 fn bench_flood(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_flood_100_steps");
@@ -73,5 +76,65 @@ fn bench_bfs_and_binsearch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flood, bench_bfs_and_binsearch);
+/// PR 2 acceptance workload: sequential engine vs the real thread pool at
+/// pinned widths 1/2/8 (`LMT_THREADS`) on n ≥ 10⁵ inputs. Three kernels
+/// with different parallel profiles: the round engine (for_each over
+/// nodes + sequential routing), the walk-distribution step (pure
+/// map/collect compute), and endpoint sampling (two-phase fold/reduce).
+///
+/// Results are recorded in EXPERIMENTS.md; on a single-CPU host all widths
+/// time alike (the pool is real but time-sliced), so treat the width-1 row
+/// as the overhead baseline.
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let n = 1 << 17; // 131_072 ≥ 10⁵
+    let g = gen::random_regular(n, 8, 42);
+    let budget = olog_budget(n, 10);
+    let mut group = c.benchmark_group("parallel_scaling_n131072");
+    group.sample_size(3);
+
+    group.bench_function("flood_3_steps/engine_seq", |b| {
+        b.iter(|| {
+            estimate_rw_probability(&g, 0, 3, 6, budget, EngineKind::Sequential, 3)
+                .unwrap()
+                .2
+                .rounds
+        })
+    });
+    for w in [1usize, 2, 8] {
+        std::env::set_var("LMT_THREADS", w.to_string());
+        group.bench_function(BenchmarkId::new("flood_3_steps/engine_par", w), |b| {
+            b.iter(|| {
+                estimate_rw_probability(&g, 0, 3, 6, budget, EngineKind::Parallel, 3)
+                    .unwrap()
+                    .2
+                    .rounds
+            })
+        });
+    }
+
+    // Width 1 takes the shim's inline path — the sequential baseline for
+    // the two kernels without an EngineKind knob.
+    let p0 = Dist::point(n, 0);
+    for w in [1usize, 2, 8] {
+        std::env::set_var("LMT_THREADS", w.to_string());
+        group.bench_function(BenchmarkId::new("walk_step_x10", w), |b| {
+            b.iter(|| evolve(&g, &p0, WalkKind::Lazy, 10).get(0))
+        });
+    }
+    for w in [1usize, 2, 8] {
+        std::env::set_var("LMT_THREADS", w.to_string());
+        group.bench_function(BenchmarkId::new("endpoint_counts_131072x32", w), |b| {
+            b.iter(|| endpoint_counts(&g, 0, 32, n, 9)[0])
+        });
+    }
+    std::env::remove_var("LMT_THREADS");
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flood,
+    bench_bfs_and_binsearch,
+    bench_parallel_scaling
+);
 criterion_main!(benches);

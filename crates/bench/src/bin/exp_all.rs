@@ -1,26 +1,28 @@
 //! Run the full experiment suite (T1–T11 + F1) in order, printing each
 //! table — this is what `EXPERIMENTS.md` records.
 //!
-//! Usage: `cargo run -p lmt-bench --release --bin exp-all`
+//! Usage: `cargo run -p lmt-bench --release --bin exp_all`
+//! (build the siblings first: `cargo build --release -p lmt-bench --bins`)
 
 use std::process::Command;
 
 fn main() {
+    // Binary names as Cargo produces them ([[bin]] names use underscores).
     let bins = [
-        "exp-t1-graph-classes",
-        "exp-f1-barbell-gap",
-        "exp-t2-approx-quality",
-        "exp-t3-approx-rounds",
-        "exp-t4-exact",
-        "exp-t5-partial-spreading",
-        "exp-t6-congest-gossip",
-        "exp-t7-rounding-error",
-        "exp-t8-baselines",
-        "exp-t9-monotonicity",
-        "exp-t10-weak-conductance",
-        "exp-t11-assumption",
-        "exp-t12-source-sensitivity",
-        "exp-t13-upcast-ablation",
+        "exp_t1_graph_classes",
+        "exp_f1_barbell_gap",
+        "exp_t2_approx_quality",
+        "exp_t3_approx_rounds",
+        "exp_t4_exact",
+        "exp_t5_partial_spreading",
+        "exp_t6_congest_gossip",
+        "exp_t7_rounding_error",
+        "exp_t8_baselines",
+        "exp_t9_monotonicity",
+        "exp_t10_weak_conductance",
+        "exp_t11_assumption",
+        "exp_t12_source_sensitivity",
+        "exp_t13_upcast_ablation",
     ];
     // Invoke sibling binaries from the same target directory.
     let me = std::env::current_exe().expect("own path");

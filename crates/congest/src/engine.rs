@@ -5,16 +5,23 @@
 //! neighbors. Round 0 is the `init` hook (local setup + initial sends).
 //!
 //! Two interchangeable engines execute node steps: sequential and
-//! rayon-parallel. Both produce **bit-identical** executions because
-//! (a) every node owns an RNG stream derived from `(seed, node_id)` only,
-//! (b) inboxes are assembled in ascending sender order, and (c) node steps
-//! never share mutable state.
+//! rayon-parallel (real threads — node ranges are chunked across a scoped
+//! pool; see the `rayon` shim). Both produce **bit-identical** executions
+//! because (a) every node owns an RNG stream derived from `(seed, node_id)`
+//! only, (b) inboxes are assembled in ascending sender order, and (c) node
+//! steps never share mutable state. `tests/determinism.rs` (workspace root)
+//! locks this equivalence in at pool widths 1, 2, and 8.
 
 use crate::message::Payload;
 use lmt_graph::Graph;
 use lmt_util::rng::RngFanout;
 use rand::rngs::SmallRng;
 use rayon::prelude::*;
+
+/// Minimum nodes per worker chunk for the parallel engine. A node step is
+/// cheap (inbox scan + a few sends), so below this the spawn overhead
+/// dominates and the round runs inline on the calling thread.
+const PAR_MIN_CHUNK: usize = 128;
 
 /// Which executor to use. Results are identical; only wall-clock differs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -266,16 +273,20 @@ impl<'g, P: Protocol> Network<'g, P> {
                 }
             }
             EngineKind::Parallel => {
-                self.nodes.par_iter_mut().enumerate().for_each(|(id, slot)| {
-                    let mut ctx = Ctx {
-                        id,
-                        graph,
-                        round,
-                        outbox: &mut slot.outbox,
-                        rng: &mut slot.rng,
-                    };
-                    slot.proto.init(&mut ctx);
-                });
+                self.nodes
+                    .par_iter_mut()
+                    .with_min_len(PAR_MIN_CHUNK)
+                    .enumerate()
+                    .for_each(|(id, slot)| {
+                        let mut ctx = Ctx {
+                            id,
+                            graph,
+                            round,
+                            outbox: &mut slot.outbox,
+                            rng: &mut slot.rng,
+                        };
+                        slot.proto.init(&mut ctx);
+                    });
             }
         }
         self.route()
@@ -350,6 +361,7 @@ impl<'g, P: Protocol> Network<'g, P> {
             EngineKind::Parallel => {
                 self.nodes
                     .par_iter_mut()
+                    .with_min_len(PAR_MIN_CHUNK)
                     .zip(inboxes.par_iter())
                     .enumerate()
                     .for_each(|(id, (slot, inbox))| {

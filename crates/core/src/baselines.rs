@@ -150,10 +150,32 @@ pub struct SamplingEstimate {
     pub accuracy_floor: f64,
     /// Number of walks per probe.
     pub walks: usize,
+    /// True when probing stopped early because of
+    /// [`AlgoConfig::probe_budget`] — either the next probe would have
+    /// pushed `rounds_charged` past the budget, or the run was in the grey
+    /// area (`accuracy_floor > ε`) where no probe can certify mixing.
+    pub bailed_out: bool,
+}
+
+impl SamplingEstimate {
+    /// Whether the configured accuracy is below the sampling floor — the
+    /// §1.2 "grey area" where this estimator's answer is unreliable.
+    pub fn in_grey_area(&self, eps: f64) -> bool {
+        self.accuracy_floor > eps
+    }
 }
 
 /// \[10\]-style estimate: probe doubling lengths; per probe, sample `walks`
 /// endpoints and compare the empirical distribution to `π`.
+///
+/// When [`AlgoConfig::probe_budget`] is set, two early bail-outs apply
+/// (both flagged via [`SamplingEstimate::bailed_out`]):
+///
+/// * **grey area** — if the accuracy floor `√(n/K)` already exceeds `ε`,
+///   no empirical distance below `ε` is trustworthy, so not a single probe
+///   is charged (the §1.2 regime where \[10\]'s approach breaks down);
+/// * **budget** — probing stops before any probe whose pipelined cost
+///   `ℓ + K` would push `rounds_charged` past the budget.
 pub fn das_sarma_style_estimate(
     g: &Graph,
     src: usize,
@@ -164,9 +186,29 @@ pub fn das_sarma_style_estimate(
     assert!(walks > 0, "need at least one walk");
     let pi = stationary(g);
     let accuracy_floor = (g.n() as f64 / walks as f64).sqrt();
+    if cfg.probe_budget.is_some() && accuracy_floor > cfg.eps {
+        return SamplingEstimate {
+            tau: None,
+            rounds_charged: 0,
+            accuracy_floor,
+            walks,
+            bailed_out: true,
+        };
+    }
     let mut rounds = 0u64;
     let mut ell = 1u64;
     while ell <= cfg.max_len {
+        if let Some(budget) = cfg.probe_budget {
+            if rounds + ell + walks as u64 > budget {
+                return SamplingEstimate {
+                    tau: None,
+                    rounds_charged: rounds,
+                    accuracy_floor,
+                    walks,
+                    bailed_out: true,
+                };
+            }
+        }
         rounds += ell + walks as u64;
         let emp = empirical_distribution(
             g,
@@ -181,6 +223,7 @@ pub fn das_sarma_style_estimate(
                 rounds_charged: rounds,
                 accuracy_floor,
                 walks,
+                bailed_out: false,
             };
         }
         ell *= 2;
@@ -190,6 +233,7 @@ pub fn das_sarma_style_estimate(
         rounds_charged: rounds,
         accuracy_floor,
         walks,
+        bailed_out: false,
     }
 }
 
@@ -249,12 +293,71 @@ mod tests {
     #[test]
     fn sampling_grey_area_with_few_walks() {
         // With K ≪ n/ε² the floor exceeds ε: the estimator is unreliable and
-        // typically fails to certify mixing at all.
+        // typically fails to certify mixing at all. Without a probe budget
+        // it still pays for every probe up to max_len ([10]'s behavior).
         let g = gen::complete(64);
         let mut cfg = AlgoConfig::new(1.0);
         cfg.max_len = 16;
         let est = das_sarma_style_estimate(&g, 0, &cfg, 10);
         assert!(est.accuracy_floor > cfg.eps);
+        assert!(est.in_grey_area(cfg.eps));
         assert!(est.tau.is_none(), "should not certify with 10 walks");
+        assert!(!est.bailed_out);
+        assert!(est.rounds_charged > 0);
+    }
+
+    #[test]
+    fn probe_budget_bails_out_immediately_in_grey_area() {
+        // Same grey-area setup, but with a probe budget: the estimator must
+        // return without charging a single probe instead of probing to
+        // max_len (which is left at its enormous default on purpose — if
+        // the bail-out regressed, this test would hang rather than pass).
+        let g = gen::complete(64);
+        let mut cfg = AlgoConfig::new(1.0);
+        cfg.probe_budget = Some(1_000_000);
+        let est = das_sarma_style_estimate(&g, 0, &cfg, 10);
+        assert!(est.in_grey_area(cfg.eps));
+        assert!(est.bailed_out);
+        assert_eq!(est.rounds_charged, 0);
+        assert!(est.tau.is_none());
+    }
+
+    #[test]
+    fn probe_budget_caps_rounds_outside_grey_area() {
+        // Bipartite cycle: the simple walk never mixes, so unbudgeted
+        // probing would double ℓ all the way to max_len. K = 5000 keeps the
+        // floor √(8/5000) ≈ 0.04 below ε ≈ 0.046 (not grey), so only the
+        // budget can stop it: probes cost ℓ + K, so 12_000 admits ℓ = 1 and
+        // ℓ = 2 but not ℓ = 4.
+        let g = gen::cycle(8);
+        let mut cfg = AlgoConfig::new(1.0);
+        cfg.max_len = 1 << 14; // safety net: still fast if the cap regresses
+        cfg.probe_budget = Some(12_000);
+        let walks = 5_000;
+        let est = das_sarma_style_estimate(&g, 0, &cfg, walks);
+        assert!(!est.in_grey_area(cfg.eps), "floor {}", est.accuracy_floor);
+        assert!(est.bailed_out);
+        assert!(
+            est.rounds_charged <= 12_000,
+            "charged {} rounds past the budget",
+            est.rounds_charged
+        );
+        assert_eq!(est.rounds_charged, (1 + walks as u64) + (2 + walks as u64));
+        assert!(est.tau.is_none());
+    }
+
+    #[test]
+    fn probe_budget_does_not_disturb_successful_estimates() {
+        // Where the estimator succeeds within budget, the answer must be
+        // identical to the unbudgeted run.
+        let g = gen::complete(16);
+        let cfg = AlgoConfig::new(1.0);
+        let unbudgeted = das_sarma_style_estimate(&g, 0, &cfg, 20_000);
+        let mut b_cfg = cfg;
+        b_cfg.probe_budget = Some(1_000_000);
+        let budgeted = das_sarma_style_estimate(&g, 0, &b_cfg, 20_000);
+        assert_eq!(budgeted.tau, unbudgeted.tau);
+        assert_eq!(budgeted.rounds_charged, unbudgeted.rounds_charged);
+        assert!(!budgeted.bailed_out);
     }
 }

@@ -25,6 +25,14 @@ pub struct AlgoConfig {
     /// Hard cap on the walk length explored (guards non-terminating cases,
     /// e.g. simple walks on bipartite graphs).
     pub max_len: u64,
+    /// Round budget for the sampling baseline's probe schedule
+    /// (`das_sarma_style_estimate`): when set, probing stops before the
+    /// total charged rounds would exceed it, and the estimator bails out
+    /// immediately in the grey area (accuracy floor `√(n/K) > ε`), where no
+    /// probe can certify mixing anyway (§1.2). `None` (the default)
+    /// reproduces \[10\]'s behavior of probing doubling lengths up to
+    /// [`AlgoConfig::max_len`].
+    pub probe_budget: Option<u64>,
     /// Tie handling in the distributed binary search (§3.1).
     pub tie: TieBreak,
     /// Walk kind: lazy for bipartite graphs (footnote 5), else simple.
@@ -42,6 +50,7 @@ impl AlgoConfig {
             engine: EngineKind::Sequential,
             seed: 0xC0FFEE,
             max_len: 1 << 22,
+            probe_budget: None,
             tie: TieBreak::ThresholdCorrection,
             kind: WalkKind::Simple,
         }

@@ -72,8 +72,11 @@ pub fn diameter(g: &Graph) -> Option<usize> {
         return None;
     }
     let n = g.n();
+    // One BFS per item is O(n + m) work — heavy enough that even a
+    // single-source chunk beats idling a worker, so no minimum chunk length.
     let d = (0..n)
         .into_par_iter()
+        .with_min_len(1)
         .map(|s| bfs(g, s).ecc)
         .max()
         .unwrap_or(0);

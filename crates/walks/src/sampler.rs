@@ -28,8 +28,12 @@ pub fn walk_endpoint(g: &Graph, src: usize, len: usize, seed: u64) -> usize {
 /// Run `walks` independent walks of length `len` from `src` (rayon-parallel,
 /// deterministic in `seed`) and return endpoint counts per node.
 pub fn endpoint_counts(g: &Graph, src: usize, len: usize, walks: usize, seed: u64) -> Vec<u64> {
+    // Each item is a full `len`-step walk — meaty enough that small chunks
+    // pay off, but batching 16 walks still amortizes the per-chunk
+    // accumulator (`vec![0; n]`) and the spawn.
     let counts = (0..walks)
         .into_par_iter()
+        .with_min_len(16)
         .fold(
             || vec![0u64; g.n()],
             |mut acc, i| {

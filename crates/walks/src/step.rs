@@ -16,8 +16,10 @@ pub enum WalkKind {
     Lazy,
 }
 
-/// Threshold above which stepping parallelizes over nodes.
-const PAR_THRESHOLD: usize = 4096;
+/// Minimum nodes per worker chunk. A pull is a handful of flops per
+/// neighbor, so chunks below this are dominated by spawn overhead; the shim
+/// runs the whole step inline when `n` is under twice this.
+const PAR_MIN_CHUNK: usize = 2048;
 
 /// Compute `p_{t+1}` from `p_t`:
 /// `p'(v) = Σ_{u ∈ N(v)} p(u)/d(u)` (simple), with the lazy 1/2-mixture for
@@ -43,11 +45,11 @@ pub fn step(g: &Graph, p: &Dist, kind: WalkKind) -> Dist {
             WalkKind::Lazy => 0.5 * ps[v] + 0.5 * inflow,
         }
     };
-    let out: Vec<f64> = if g.n() >= PAR_THRESHOLD {
-        (0..g.n()).into_par_iter().map(pull).collect()
-    } else {
-        (0..g.n()).map(pull).collect()
-    };
+    let out: Vec<f64> = (0..g.n())
+        .into_par_iter()
+        .with_min_len(PAR_MIN_CHUNK)
+        .map(pull)
+        .collect();
     Dist::from_vec(out)
 }
 

@@ -19,12 +19,13 @@ fn main() {
         flood.tau, flood.metrics.rounds
     );
 
-    // Cap the sampling estimator's probe budget: in the grey area (accuracy
-    // floor > ε) it would otherwise probe doubling lengths all the way to
-    // cfg.max_len (4M), at K·ℓ walk-steps per probe — hours of wall clock
-    // for an answer that is "∞" either way.
+    // First-class probe budget (PR 2): in the grey area (accuracy floor
+    // > ε) the estimator bails out before charging a single probe — without
+    // it, probing doubles ℓ all the way to cfg.max_len (4M) at K·ℓ
+    // walk-steps per probe, hours of wall clock for an answer that is "∞"
+    // either way.
     let mut samp_cfg = cfg;
-    samp_cfg.max_len = 1 << 14;
+    samp_cfg.probe_budget = Some(500_000);
     for walks in [100usize, 10_000] {
         let samp = das_sarma_style_estimate(&graph, src, &samp_cfg, walks);
         println!(
@@ -32,8 +33,8 @@ fn main() {
             samp.tau.map_or("∞".to_string(), |v| v.to_string()),
             samp.rounds_charged,
             samp.accuracy_floor,
-            if samp.accuracy_floor > cfg.eps {
-                "  << grey area: floor > ε, estimate unreliable"
+            if samp.in_grey_area(cfg.eps) {
+                "  << grey area: floor > ε, bailed out without probing"
             } else {
                 ""
             }

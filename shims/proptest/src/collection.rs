@@ -8,10 +8,17 @@ use crate::test_runner::TestRng;
 pub trait IntoLenRange {
     /// Draw a length.
     fn draw_len(&self, rng: &mut TestRng) -> usize;
+
+    /// Smallest admissible length (the shrinker's floor).
+    fn min_len(&self) -> usize;
 }
 
 impl IntoLenRange for usize {
     fn draw_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+
+    fn min_len(&self) -> usize {
         *self
     }
 }
@@ -21,12 +28,20 @@ impl IntoLenRange for std::ops::Range<usize> {
         assert!(self.start < self.end, "empty length range");
         self.start + (rng.next_u64() as usize) % (self.end - self.start)
     }
+
+    fn min_len(&self) -> usize {
+        self.start
+    }
 }
 
 impl IntoLenRange for std::ops::RangeInclusive<usize> {
     fn draw_len(&self, rng: &mut TestRng) -> usize {
         assert!(self.start() <= self.end(), "empty length range");
         self.start() + (rng.next_u64() as usize) % (self.end() - self.start() + 1)
+    }
+
+    fn min_len(&self) -> usize {
+        *self.start()
     }
 }
 
@@ -42,10 +57,39 @@ pub struct VecStrategy<S, L> {
     len: L,
 }
 
-impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L> {
+impl<S: Strategy, L: IntoLenRange> Strategy for VecStrategy<S, L>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
         let n = self.len.draw_len(rng);
         (0..n).map(|_| self.elem.new_value(rng)).collect()
+    }
+
+    /// Shrink length first (halve the slack above the minimum, then drop one
+    /// element), then elements in place through the element strategy's own
+    /// shrinker (a few candidates each; the runner's shrink loop iterates,
+    /// so per-element convergence does not need the full candidate list).
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let min = self.len.min_len();
+        let mut out = Vec::new();
+        if value.len() > min {
+            let half = min + (value.len() - min) / 2;
+            if half < value.len() {
+                out.push(value[..half].to_vec());
+            }
+            if value.len() - 1 > half {
+                out.push(value[..value.len() - 1].to_vec());
+            }
+        }
+        for (i, x) in value.iter().enumerate() {
+            for cand in self.elem.shrink(x).into_iter().take(4) {
+                let mut w = value.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
     }
 }

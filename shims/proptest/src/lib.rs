@@ -9,8 +9,15 @@
 //!
 //! Differences from upstream, by design:
 //!
-//! * **No shrinking.** A failing case reports its generated inputs via
-//!   `Debug`; with deterministic seeding the case reproduces exactly.
+//! * **Greedy halving shrinker instead of value trees.** A failing case is
+//!   minimized by re-running the property on simpler candidates: integer
+//!   ranges halve toward their minimum, `collection::vec` shrinks length
+//!   then elements, tuples shrink component-wise, and `prop_filter` shrinks
+//!   through to its inner strategy. Combinators that lose the inverse
+//!   mapping (`prop_map`, `prop_flat_map`, `boxed`) report the failing
+//!   value unshrunk. The report shows both the minimal and the originally
+//!   generated input; with deterministic seeding the case reproduces
+//!   exactly either way.
 //! * **Deterministic seeding.** Each test's RNG is seeded from a hash of its
 //!   fully-qualified name, so runs are reproducible in CI by default.
 //! * `PROPTEST_CASES` overrides the per-test case count, exactly like

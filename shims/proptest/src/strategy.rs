@@ -8,14 +8,30 @@ pub struct Reject(pub &'static str);
 
 /// A source of random values of one type.
 ///
-/// Unlike upstream proptest there is no value tree / shrinking; a strategy
-/// simply draws a value (or rejects, to be retried by the runner).
+/// Unlike upstream proptest there is no lazy value tree; a strategy draws a
+/// value (or rejects, to be retried by the runner), and failing values are
+/// simplified afterwards through [`Strategy::shrink`] — a halving shrinker
+/// for integer ranges, length-then-element shrinking for
+/// `collection::vec`, and component-wise shrinking for tuples. Combinators
+/// that lose the inverse mapping (`prop_map`, `prop_flat_map`, `boxed`)
+/// report the failing value unshrunk, like the seed shim always did.
 pub trait Strategy: Sized {
     /// The generated type.
     type Value;
 
     /// Draw one value.
     fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject>;
+
+    /// Candidate simplifications of a failing `value`, simplest first.
+    ///
+    /// The runner greedily takes the first candidate that still fails and
+    /// re-shrinks from there, so strategies should order candidates from
+    /// most to least aggressive (e.g. the range minimum before nearby
+    /// values). The default is no candidates (no shrinking).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transform generated values.
     fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F> {
@@ -95,6 +111,16 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
             Err(Reject(self.reason))
         }
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink through the inner strategy, keeping only candidates that
+        // still satisfy the filter.
+        self.inner
+            .shrink(value)
+            .into_iter()
+            .filter(|c| (self.pred)(c))
+            .collect()
+    }
 }
 
 /// A type-erased strategy.
@@ -168,6 +194,35 @@ pub fn any<T: Arbitrary>() -> Any<T> {
 
 // ---- Ranges as strategies ------------------------------------------------
 
+/// The halving shrinker shared by all integer ranges: given a failing value
+/// at unsigned distance `d` above the range minimum, propose the minimum
+/// itself, then values closing half the remaining gap to the failing value
+/// (`v − d/2`, `v − d/4`, …, `v − 1`). The runner re-shrinks from whichever
+/// candidate still fails, so the minimal failing value is reached in
+/// `O(log² d)` property evaluations, like upstream proptest's binary
+/// search.
+macro_rules! halving_shrink {
+    ($v:expr, $lo:expr, $t:ty, $u:ty) => {{
+        let v = $v;
+        let lo = $lo;
+        if v == lo {
+            Vec::new()
+        } else {
+            let d = (v as $u).wrapping_sub(lo as $u);
+            let mut out = vec![lo];
+            let mut dist = d / 2;
+            while dist > 0 {
+                let cand = lo.wrapping_add((d - dist) as $t);
+                if cand != lo {
+                    out.push(cand);
+                }
+                dist /= 2;
+            }
+            out
+        }
+    }};
+}
+
 macro_rules! impl_range_strategy_int {
     ($($t:ty),*) => {$(
         impl Strategy for std::ops::Range<$t> {
@@ -177,6 +232,9 @@ macro_rules! impl_range_strategy_int {
                 let span = (self.end as u128).wrapping_sub(self.start as u128);
                 let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
                 Ok((self.start as u128).wrapping_add(draw % span) as $t)
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_shrink!(*value, self.start, $t, $t)
             }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
@@ -192,6 +250,9 @@ macro_rules! impl_range_strategy_int {
                 }
                 Ok((lo as u128).wrapping_add(draw % span) as $t)
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_shrink!(*value, *self.start(), $t, $t)
+            }
         }
     )*};
 }
@@ -206,6 +267,9 @@ macro_rules! impl_range_strategy_signed {
                 let span = (self.end as $u).wrapping_sub(self.start as $u);
                 let draw = <$u as Arbitrary>::arbitrary(rng) % span;
                 Ok(self.start.wrapping_add(draw as $t))
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_shrink!(*value, self.start, $t, $u)
             }
         }
     )*};
@@ -244,23 +308,39 @@ impl Strategy for std::ops::Range<f32> {
 
 // ---- Tuples of strategies ------------------------------------------------
 
+// `Value: Clone` lets the tuple shrink component-wise (clone the failing
+// tuple, substitute one shrunk component). Every strategy the workspace
+// feeds into a tuple already has a `Clone` value — the runner demands it
+// for failure reporting.
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             fn new_value(&self, rng: &mut TestRng) -> Result<Self::Value, Reject> {
-                #[allow(non_snake_case)]
-                let ($($name,)+) = self;
-                Ok(($($name.new_value(rng)?,)+))
+                Ok(($(self.$idx.new_value(rng)?,)+))
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut t = value.clone();
+                        t.$idx = cand;
+                        out.push(t);
+                    }
+                )+
+                out
             }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
-impl_tuple_strategy!(A, B, C, D, E, F, G);
-impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+impl_tuple_strategy!(A 0);
+impl_tuple_strategy!(A 0, B 1);
+impl_tuple_strategy!(A 0, B 1, C 2);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+impl_tuple_strategy!(A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);

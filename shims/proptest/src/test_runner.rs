@@ -100,11 +100,49 @@ impl TestRng {
     }
 }
 
+/// Upper bound on accepted shrink steps per failure. Each step halves a
+/// remaining gap somewhere, so real minimizations finish far below this;
+/// the cap only guards pathological shrink cycles.
+const MAX_SHRINK_STEPS: u32 = 512;
+
+/// Greedily minimize a failing `value`: repeatedly take the first
+/// [`Strategy::shrink`] candidate that still fails (rejects and passes are
+/// skipped) until no candidate fails or the step budget is exhausted.
+///
+/// Returns the minimal failing value, its failure message, and the number
+/// of accepted shrink steps.
+fn shrink_failure<S, F>(
+    strategy: &S,
+    mut value: S::Value,
+    mut msg: String,
+    body: &F,
+) -> (S::Value, String, u32)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0;
+    'outer: while steps < MAX_SHRINK_STEPS {
+        for cand in strategy.shrink(&value) {
+            if let Err(TestCaseError::Fail(m)) = body(cand.clone()) {
+                value = cand;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
 /// Drive `body` over `config.effective_cases()` generated inputs.
 ///
 /// Panics (failing the enclosing `#[test]`) on the first case failure,
-/// reporting the generated input via `Debug`, or when the rejection budget
-/// is exhausted before enough cases pass.
+/// reporting the generated input — shrunk to a minimal failing input via
+/// [`Strategy::shrink`] — via `Debug`, or when the rejection budget is
+/// exhausted before enough cases pass.
 pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: S, body: F)
 where
     S: Strategy,
@@ -134,9 +172,17 @@ where
             Ok(()) => passed += 1,
             Err(TestCaseError::Reject(_)) => rejects += 1,
             Err(TestCaseError::Fail(msg)) => {
+                let (min_value, min_msg, steps) = shrink_failure(&strategy, shown.clone(), msg, &body);
+                if steps == 0 {
+                    panic!(
+                        "{test_name}: property failed at case {passed}: {min_msg}\n\
+                         input: {shown:#?}"
+                    );
+                }
                 panic!(
-                    "{test_name}: property failed at case {passed}: {msg}\n\
-                     input: {shown:#?}"
+                    "{test_name}: property failed at case {passed}: {min_msg}\n\
+                     minimal input (after {steps} shrink steps): {min_value:#?}\n\
+                     originally failing input: {shown:#?}"
                 );
             }
         }
@@ -210,6 +256,82 @@ mod tests {
             (n, k) in (2usize..20).prop_flat_map(|n| (Just(n), 0..n)).prop_filter("k below n", |&(n, k)| k < n)
         ) {
             prop_assert!(k < n);
+        }
+    }
+
+    #[test]
+    fn integer_failure_shrinks_to_minimal_counterexample() {
+        // Property "x < 30" over 0..1000: whatever the starting failure,
+        // halving must land exactly on the threshold 30.
+        let (min, msg, steps) = shrink_failure(&(0u64..1000,), (977,), "seed".into(), &|(x,)| {
+            if x < 30 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{x} not below 30")))
+            }
+        });
+        assert_eq!(min, (30,));
+        assert!(steps > 0);
+        assert_eq!(msg, "30 not below 30");
+    }
+
+    #[test]
+    fn thirty_node_spec_shrinks_and_leaves_seed_alone() {
+        // The determinism/graph suites draw `(n, seed)` specs; a failure on
+        // a large random graph must come back as the minimal node count,
+        // with the (unshrinkable) seed untouched.
+        let strat = (2usize..64, any::<u64>());
+        let (min, _msg, _steps) =
+            shrink_failure(&strat, (47, 0xDEAD_BEEF), "seed".into(), &|(n, _seed)| {
+                if n < 30 {
+                    Ok(())
+                } else {
+                    Err(TestCaseError::fail(format!("fails on {n}-node graphs")))
+                }
+            });
+        assert_eq!(min, (30, 0xDEAD_BEEF));
+    }
+
+    #[test]
+    fn vec_failure_shrinks_length_then_elements() {
+        let strat = (crate::collection::vec(0u32..100, 0..20),);
+        let start = vec![57u32, 3, 99, 12, 41, 88, 5];
+        let (min, _msg, _steps) = shrink_failure(&strat, (start,), "seed".into(), &|(v,)| {
+            if v.len() < 3 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail("3+ elements"))
+            }
+        });
+        assert_eq!(min.0.len(), 3, "length not minimized: {:?}", min.0);
+        assert!(
+            min.0.iter().all(|&x| x == 0),
+            "elements not minimized: {:?}",
+            min.0
+        );
+    }
+
+    #[test]
+    fn shrink_respects_vec_min_len_and_filters() {
+        // Inclusive length range with a floor of 2: candidates never go
+        // below it even though the property fails on everything.
+        let strat = (crate::collection::vec(0u8..5, 2..=10),);
+        let (min, _msg, _steps) = shrink_failure(
+            &strat,
+            (vec![4u8, 4, 4, 4, 4, 4],),
+            "seed".into(),
+            &|(_v,)| Err(TestCaseError::fail("always fails")),
+        );
+        assert_eq!(min.0, vec![0u8, 0]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        #[should_panic(expected = "minimal input")]
+        fn macro_failures_report_shrunk_input(x in 0u32..1000) {
+            prop_assert!(x < 30, "x = {} escaped", x);
         }
     }
 

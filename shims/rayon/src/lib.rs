@@ -1,194 +1,289 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate — now genuinely parallel.
 //!
 //! The build container has no crates.io access, so the workspace vendors the
-//! parallel-iterator surface it uses, executed **sequentially**. This is
-//! observationally sound here because every `rayon` call site in the
-//! workspace is written to be scheduling-independent (per-node RNG streams,
-//! no shared mutable state), i.e. the parallel and sequential engines are
-//! specified to produce bit-identical results — this shim simply makes the
-//! "parallel" engine another sequential one. Swap in real `rayon` by
-//! repointing the workspace `rayon` path dependency; no call-site changes.
+//! parallel-iterator surface it uses. Since PR 2 that surface is backed by a
+//! real chunked thread pool: consuming operations split the work into
+//! contiguous chunks (one per worker, via [`crate::producer::Producer`]),
+//! run each chunk on its own `std::thread::scope` thread, and recombine the
+//! per-chunk results in **index order** (see [`mod@pool`]).
+//!
+//! Determinism contract: every `rayon` call site in the workspace is written
+//! to be scheduling-independent (per-node RNG streams, no shared mutable
+//! state), and this shim recombines chunk results in index order — so for
+//! the associative combine operations the workspace uses (integer sums and
+//! counts, `max`, per-element `map`/`collect`), the parallel engine is
+//! bit-identical to the sequential one at every pool width
+//! (`tests/determinism.rs` locks this in at widths 1, 2, and 8). As with
+//! upstream rayon, a *non-associative* float `reduce` would observe the
+//! chunking; no call site does that.
+//!
+//! Pool width: `LMT_THREADS` overrides, else `available_parallelism()` —
+//! see [`current_num_threads`]. Chunk sizing: [`ParIter::with_min_len`]
+//! sets the minimum items per chunk; below `2·min_len` the operation runs
+//! inline with no thread spawned.
 //!
 //! `fold`/`reduce` keep rayon's two-phase semantics: `fold(identity, op)`
-//! yields a parallel iterator *of accumulators* (one per job; exactly one
-//! here), and `reduce(identity, op)` combines them.
+//! yields a parallel iterator *of per-chunk accumulators* (genuinely one per
+//! worker chunk), and `reduce(identity, op)` combines them left-to-right in
+//! chunk order. Swap in real `rayon` by repointing the workspace `rayon`
+//! path dependency; no call-site changes.
 
 #![forbid(unsafe_code)]
 
-/// The adapter wrapping a sequential iterator behind rayon's names.
-pub struct ParIter<I> {
-    inner: I,
+pub mod pool;
+pub mod producer;
+
+pub use pool::current_num_threads;
+
+use producer::{
+    EnumerateProducer, FilterProducer, MapProducer, Producer, SliceMutProducer, SliceProducer,
+    VecProducer, ZipProducer,
+};
+use std::sync::Arc;
+
+/// The parallel iterator: a splittable [`Producer`] plus chunk-size policy.
+pub struct ParIter<P: Producer> {
+    pub(crate) p: P,
+    pub(crate) min_len: usize,
 }
 
-impl<I: Iterator> ParIter<I> {
+impl<P: Producer> ParIter<P> {
     /// Map each element.
     #[inline]
-    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+    pub fn map<U, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        U: Send,
+        F: Fn(P::Item) -> U + Send + Sync,
+    {
         ParIter {
-            inner: self.inner.map(f),
+            p: MapProducer {
+                base: self.p,
+                f: Arc::new(f),
+            },
+            min_len: self.min_len,
         }
     }
 
-    /// Filter elements.
+    /// Filter elements. Downstream `len()` becomes an upper bound, so
+    /// `enumerate` is no longer available past this point.
     #[inline]
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+    pub fn filter<F>(self, f: F) -> ParIter<FilterProducer<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Send + Sync,
+    {
         ParIter {
-            inner: self.inner.filter(f),
+            p: FilterProducer {
+                base: self.p,
+                pred: Arc::new(f),
+            },
+            min_len: self.min_len,
         }
     }
 
-    /// Pair each element with its index.
+    /// Pair each element with its global index.
+    ///
+    /// # Panics
+    /// Panics downstream of `filter` (indices would depend on chunking).
     #[inline]
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        assert!(
+            P::EXACT,
+            "enumerate() after filter() is unsupported: indices would depend on chunk boundaries"
+        );
         ParIter {
-            inner: self.inner.enumerate(),
+            p: EnumerateProducer {
+                base: self.p,
+                offset: 0,
+            },
+            min_len: self.min_len,
         }
     }
 
     /// Zip with another parallel iterator (or anything convertible to one).
     #[inline]
-    pub fn zip<Z: IntoParallelIterator>(
-        self,
-        other: Z,
-    ) -> ParIter<std::iter::Zip<I, Z::SeqIter>> {
+    pub fn zip<Z: IntoParallelIterator>(self, other: Z) -> ParIter<ZipProducer<P, Z::Producer>> {
         ParIter {
-            inner: self.inner.zip(other.into_par_iter().inner),
+            p: ZipProducer {
+                a: self.p,
+                b: other.into_par_iter().p,
+            },
+            min_len: self.min_len,
         }
     }
 
-    /// Consume, applying `f` to each element.
+    /// Require at least `min` items per worker chunk; below `2·min` the
+    /// operation runs inline on the calling thread (the chunk-size tuning
+    /// knob for call sites whose per-item work is small).
     #[inline]
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.inner.for_each(f)
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
+        self
     }
 
-    /// Collect into any `FromIterator` container.
+    /// Consume, applying `f` to each element on the worker owning its chunk.
     #[inline]
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.inner.collect()
-    }
-
-    /// Maximum element.
-    #[inline]
-    pub fn max(self) -> Option<I::Item>
+    pub fn for_each<F>(self, f: F)
     where
-        I::Item: Ord,
+        F: Fn(P::Item) + Sync,
     {
-        self.inner.max()
+        pool::run_chunked(self.p, self.min_len, &|chunk: P| {
+            chunk.into_seq().for_each(&f)
+        });
+    }
+
+    /// Collect into any `FromIterator` container, in index order.
+    #[inline]
+    pub fn collect<C: FromIterator<P::Item>>(self) -> C {
+        let chunks: Vec<Vec<P::Item>> = pool::run_chunked(self.p, self.min_len, &|chunk: P| {
+            chunk.into_seq().collect()
+        });
+        chunks.into_iter().flatten().collect()
+    }
+
+    /// Maximum element (ties resolve to the last maximal element, matching
+    /// `Iterator::max`).
+    #[inline]
+    pub fn max(self) -> Option<P::Item>
+    where
+        P::Item: Ord,
+    {
+        pool::run_chunked(self.p, self.min_len, &|chunk: P| chunk.into_seq().max())
+            .into_iter()
+            .flatten()
+            .max()
     }
 
     /// Minimum element.
     #[inline]
-    pub fn min(self) -> Option<I::Item>
+    pub fn min(self) -> Option<P::Item>
     where
-        I::Item: Ord,
+        P::Item: Ord,
     {
-        self.inner.min()
+        pool::run_chunked(self.p, self.min_len, &|chunk: P| chunk.into_seq().min())
+            .into_iter()
+            .flatten()
+            .min()
     }
 
-    /// Sum of the elements.
+    /// Sum of the elements: per-chunk partial sums, combined in chunk order.
     #[inline]
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.inner.sum()
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        pool::run_chunked(self.p, self.min_len, &|chunk: P| chunk.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
     }
 
     /// Number of elements.
     #[inline]
     pub fn count(self) -> usize {
-        self.inner.count()
+        pool::run_chunked(self.p, self.min_len, &|chunk: P| chunk.into_seq().count())
+            .into_iter()
+            .sum()
     }
 
-    /// Rayon-style fold: produce a parallel iterator of per-job accumulators
-    /// (exactly one job in this sequential shim).
+    /// Rayon-style fold: produce a parallel iterator of per-chunk
+    /// accumulators (one per worker chunk, in chunk-index order).
     #[inline]
-    pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> ParIter<std::iter::Once<Acc>>
+    pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> ParIter<VecProducer<Acc>>
     where
-        Id: Fn() -> Acc,
-        F: FnMut(Acc, I::Item) -> Acc,
+        Acc: Send,
+        Id: Fn() -> Acc + Sync,
+        F: Fn(Acc, P::Item) -> Acc + Sync,
     {
-        let acc = self.inner.fold(identity(), fold_op);
+        let accs: Vec<Acc> = pool::run_chunked(self.p, self.min_len, &|chunk: P| {
+            chunk.into_seq().fold(identity(), &fold_op)
+        });
         ParIter {
-            inner: std::iter::once(acc),
+            p: VecProducer { vec: accs },
+            min_len: 1,
         }
     }
 
-    /// Rayon-style reduce: combine all elements starting from `identity()`.
+    /// Rayon-style reduce: per-chunk folds from `identity()`, then a
+    /// left-to-right combine in chunk order. `op` must be associative with
+    /// identity `identity()` for the result to be chunking-independent —
+    /// the same contract as upstream rayon.
     #[inline]
-    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> P::Item
     where
-        Id: Fn() -> I::Item,
-        Op: FnMut(I::Item, I::Item) -> I::Item,
+        Id: Fn() -> P::Item + Sync,
+        Op: Fn(P::Item, P::Item) -> P::Item + Sync,
     {
-        self.inner.fold(identity(), op)
-    }
-
-    /// Hint accepted for API compatibility; a no-op sequentially.
-    #[inline]
-    pub fn with_min_len(self, _min: usize) -> Self {
-        self
+        let parts: Vec<P::Item> = pool::run_chunked(self.p, self.min_len, &|chunk: P| {
+            chunk.into_seq().fold(identity(), &op)
+        });
+        parts.into_iter().reduce(op).unwrap_or_else(identity)
     }
 }
 
-/// Conversion into a (sequentially executed) parallel iterator.
+/// Conversion into a parallel iterator.
 pub trait IntoParallelIterator {
     /// The element type.
-    type Item;
-    /// The underlying sequential iterator.
-    type SeqIter: Iterator<Item = Self::Item>;
+    type Item: Send;
+    /// The underlying splittable producer.
+    type Producer: Producer<Item = Self::Item>;
     /// Convert.
-    fn into_par_iter(self) -> ParIter<Self::SeqIter>;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
 }
 
-impl<I: Iterator> IntoParallelIterator for ParIter<I> {
-    type Item = I::Item;
-    type SeqIter = I;
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Producer = P;
     #[inline]
-    fn into_par_iter(self) -> ParIter<I> {
+    fn into_par_iter(self) -> ParIter<P> {
         self
     }
 }
 
-impl<T> IntoParallelIterator for std::ops::Range<T>
-where
-    std::ops::Range<T>: Iterator<Item = T>,
-{
-    type Item = T;
-    type SeqIter = std::ops::Range<T>;
-    #[inline]
-    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
-        ParIter { inner: self }
-    }
+macro_rules! impl_into_par_iter_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Producer = std::ops::Range<$t>;
+            #[inline]
+            fn into_par_iter(self) -> ParIter<Self::Producer> {
+                ParIter { p: self, min_len: 1 }
+            }
+        }
+    )*};
 }
+impl_into_par_iter_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-impl<T> IntoParallelIterator for Vec<T> {
+impl<T: Send> IntoParallelIterator for Vec<T> {
     type Item = T;
-    type SeqIter = std::vec::IntoIter<T>;
+    type Producer = VecProducer<T>;
     #[inline]
-    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
         ParIter {
-            inner: self.into_iter(),
+            p: VecProducer { vec: self },
+            min_len: 1,
         }
     }
 }
 
-impl<'a, T> IntoParallelIterator for &'a [T] {
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
     type Item = &'a T;
-    type SeqIter = std::slice::Iter<'a, T>;
+    type Producer = SliceProducer<'a, T>;
     #[inline]
-    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
         ParIter {
-            inner: self.iter(),
+            p: SliceProducer { slice: self },
+            min_len: 1,
         }
     }
 }
 
-impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
     type Item = &'a T;
-    type SeqIter = std::slice::Iter<'a, T>;
+    type Producer = SliceProducer<'a, T>;
     #[inline]
-    fn into_par_iter(self) -> ParIter<Self::SeqIter> {
+    fn into_par_iter(self) -> ParIter<Self::Producer> {
         ParIter {
-            inner: self.iter(),
+            p: SliceProducer { slice: self },
+            min_len: 1,
         }
     }
 }
@@ -196,59 +291,69 @@ impl<'a, T> IntoParallelIterator for &'a Vec<T> {
 /// `par_iter` on shared references to collections.
 pub trait IntoParallelRefIterator<'a> {
     /// The borrowed element type.
-    type Item: 'a;
-    /// The underlying sequential iterator.
-    type SeqIter: Iterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    /// The underlying splittable producer.
+    type Producer: Producer<Item = Self::Item>;
     /// Borrowing conversion.
-    fn par_iter(&'a self) -> ParIter<Self::SeqIter>;
+    fn par_iter(&'a self) -> ParIter<Self::Producer>;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
-    type SeqIter = std::slice::Iter<'a, T>;
+    type Producer = SliceProducer<'a, T>;
     #[inline]
-    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'a self) -> ParIter<Self::Producer> {
+        ParIter {
+            p: SliceProducer { slice: self },
+            min_len: 1,
+        }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Item = &'a T;
-    type SeqIter = std::slice::Iter<'a, T>;
+    type Producer = SliceProducer<'a, T>;
     #[inline]
-    fn par_iter(&'a self) -> ParIter<Self::SeqIter> {
-        ParIter { inner: self.iter() }
+    fn par_iter(&'a self) -> ParIter<Self::Producer> {
+        ParIter {
+            p: SliceProducer { slice: self },
+            min_len: 1,
+        }
     }
 }
 
 /// `par_iter_mut` on exclusive references to collections.
 pub trait IntoParallelRefMutIterator<'a> {
     /// The borrowed element type.
-    type Item: 'a;
-    /// The underlying sequential iterator.
-    type SeqIter: Iterator<Item = Self::Item>;
+    type Item: Send + 'a;
+    /// The underlying splittable producer.
+    type Producer: Producer<Item = Self::Item>;
     /// Mutably borrowing conversion.
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter>;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Producer>;
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for [T] {
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
     type Item = &'a mut T;
-    type SeqIter = std::slice::IterMut<'a, T>;
+    type Producer = SliceMutProducer<'a, T>;
     #[inline]
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Producer> {
         ParIter {
-            inner: self.iter_mut(),
+            p: SliceMutProducer { slice: self },
+            min_len: 1,
         }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
     type Item = &'a mut T;
-    type SeqIter = std::slice::IterMut<'a, T>;
+    type Producer = SliceMutProducer<'a, T>;
     #[inline]
-    fn par_iter_mut(&'a mut self) -> ParIter<Self::SeqIter> {
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Producer> {
         ParIter {
-            inner: self.iter_mut(),
+            p: SliceMutProducer {
+                slice: self.as_mut_slice(),
+            },
+            min_len: 1,
         }
     }
 }
@@ -260,37 +365,81 @@ pub mod prelude {
     };
 }
 
+/// Test-only helpers for pinning the pool width.
+///
+/// `LMT_THREADS` is process-global, and `current_num_threads()` reads it on
+/// every parallel operation — so **every** test that runs a parallel
+/// operation must hold the same lock as the tests that mutate the variable
+/// (readers racing a `set_var` would otherwise observe nondeterministic
+/// widths, and mixing in non-Rust `getenv` callers would be UB). Routing
+/// all tests through [`test_support::at_width`] enforces that, and its drop
+/// guard restores the prior value even when the body panics (one test
+/// deliberately panics out of a worker).
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::Mutex;
+
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Restores the prior `LMT_THREADS` on drop (panic-safe).
+    struct EnvRestore(Option<String>);
+
+    impl Drop for EnvRestore {
+        fn drop(&mut self) {
+            match self.0.take() {
+                Some(s) => std::env::set_var("LMT_THREADS", s),
+                None => std::env::remove_var("LMT_THREADS"),
+            }
+        }
+    }
+
+    /// Run `f` with `LMT_THREADS` pinned to `width`, holding the env lock
+    /// for the duration and restoring the prior value afterwards.
+    pub(crate) fn at_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let _restore = EnvRestore(std::env::var("LMT_THREADS").ok());
+        std::env::set_var("LMT_THREADS", width.to_string());
+        assert_eq!(crate::current_num_threads(), width);
+        f()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use crate::producer::Producer;
+    use crate::test_support::at_width;
 
     #[test]
     fn range_map_collect_matches_sequential() {
-        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        let v: Vec<usize> =
+            at_width(4, || (0..10usize).into_par_iter().map(|x| x * x).collect());
         assert_eq!(v, (0..10usize).map(|x| x * x).collect::<Vec<_>>());
     }
 
     #[test]
     fn fold_then_reduce_matches_rayon_semantics() {
         // Histogram via fold + elementwise reduce, as the walk sampler does.
-        let counts: Vec<u64> = (0..100usize)
-            .into_par_iter()
-            .fold(
-                || vec![0u64; 4],
-                |mut acc, i| {
-                    acc[i % 4] += 1;
-                    acc
-                },
-            )
-            .reduce(
-                || vec![0u64; 4],
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            );
+        let counts: Vec<u64> = at_width(4, || {
+            (0..100usize)
+                .into_par_iter()
+                .fold(
+                    || vec![0u64; 4],
+                    |mut acc, i| {
+                        acc[i % 4] += 1;
+                        acc
+                    },
+                )
+                .reduce(
+                    || vec![0u64; 4],
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+        });
         assert_eq!(counts, vec![25, 25, 25, 25]);
     }
 
@@ -298,17 +447,104 @@ mod tests {
     fn par_iter_mut_zip_enumerate() {
         let mut xs = vec![0usize; 5];
         let ys = vec![10usize, 20, 30, 40, 50];
-        xs.par_iter_mut()
-            .zip(ys.par_iter())
-            .enumerate()
-            .for_each(|(i, (x, y))| *x = i + *y);
+        at_width(3, || {
+            xs.par_iter_mut()
+                .zip(ys.par_iter())
+                .enumerate()
+                .for_each(|(i, (x, y))| *x = i + *y);
+        });
         assert_eq!(xs, vec![10, 21, 32, 43, 54]);
     }
 
     #[test]
     fn max_and_sum() {
-        assert_eq!((0..7usize).into_par_iter().max(), Some(6));
-        let s: usize = (1..5usize).into_par_iter().sum();
-        assert_eq!(s, 10);
+        at_width(4, || {
+            assert_eq!((0..7usize).into_par_iter().max(), Some(6));
+            let s: usize = (1..5usize).into_par_iter().sum();
+            assert_eq!(s, 10);
+        });
+    }
+
+    #[test]
+    fn filter_preserves_order() {
+        at_width(4, || {
+            let v: Vec<usize> =
+                (0..1000usize).into_par_iter().filter(|x| x % 3 == 0).collect();
+            let expect: Vec<usize> = (0..1000usize).filter(|x| x % 3 == 0).collect();
+            assert_eq!(v, expect);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "enumerate() after filter()")]
+    fn enumerate_after_filter_rejected() {
+        // Panics at adapter construction — before any consumption, so no
+        // env read happens and no width pin is needed.
+        let _ = (0..10usize)
+            .into_par_iter()
+            .filter(|x| x % 2 == 0)
+            .enumerate()
+            .collect::<Vec<_>>();
+    }
+
+    #[test]
+    fn results_identical_across_pool_widths() {
+        let reference: Vec<u64> = at_width(1, || {
+            (0..10_000u64).into_par_iter().map(|x| x.wrapping_mul(x) ^ 0xA5).collect()
+        });
+        for width in [2, 3, 8] {
+            let got: Vec<u64> = at_width(width, || {
+                (0..10_000u64).into_par_iter().map(|x| x.wrapping_mul(x) ^ 0xA5).collect()
+            });
+            assert_eq!(got, reference, "width {width} diverged");
+        }
+    }
+
+    #[test]
+    fn fold_produces_one_accumulator_per_chunk() {
+        // At width 4 over 4k items, the two-phase fold must see multiple
+        // genuine accumulators, and their index-ordered combine must match
+        // the sequential total exactly.
+        let total: u64 = at_width(4, || {
+            let accs = (0..4096u64).into_par_iter().fold(|| 0u64, |a, x| a + x);
+            assert_eq!(accs.p.len(), 4, "expected one accumulator per chunk");
+            accs.reduce(|| 0u64, |a, b| a + b)
+        });
+        assert_eq!(total, (0..4096u64).sum::<u64>());
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently() {
+        // All four chunks rendezvous on one barrier: this can only complete
+        // if four threads are live at once (even time-sliced on one CPU).
+        let barrier = std::sync::Barrier::new(4);
+        at_width(4, || {
+            (0..4usize)
+                .into_par_iter()
+                .for_each(|_| {
+                    barrier.wait();
+                });
+        });
+    }
+
+    #[test]
+    fn with_min_len_keeps_small_inputs_inline() {
+        // 100 items at min_len 64 → a single chunk; result unchanged.
+        let s: usize = at_width(8, || {
+            (0..100usize).into_par_iter().with_min_len(64).sum()
+        });
+        assert_eq!(s, (0..100usize).sum::<usize>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            at_width(2, || {
+                (0..1000usize).into_par_iter().for_each(|i| {
+                    assert!(i != 900, "boom at {i}");
+                });
+            });
+        });
+        assert!(caught.is_err());
     }
 }

@@ -1,0 +1,118 @@
+//! Chunked scoped-thread execution.
+//!
+//! Every consuming operation on a [`crate::ParIter`] funnels through
+//! [`run_chunked`]: split the producer into at most `current_num_threads()`
+//! contiguous chunks (each at least `min_len` items), run chunk 0 on the
+//! calling thread and the rest on `std::thread::scope` workers, and return
+//! the per-chunk results **in chunk-index order**. Recombination order never
+//! depends on which worker finished first, so any scheduling is
+//! observationally identical to the sequential execution for associative
+//! combines — the workspace's engine-equivalence contract.
+
+use crate::producer::Producer;
+
+/// Hard cap on the pool width, guarding against absurd `LMT_THREADS` values.
+const MAX_THREADS: usize = 256;
+
+/// The pool width used by the next parallel operation.
+///
+/// Resolution order:
+/// 1. `LMT_THREADS` — explicit override, primarily for tests and benchmarks
+///    that pin the width (values are clamped to `1..=256`);
+/// 2. [`std::thread::available_parallelism`];
+/// 3. `1` if neither is available.
+///
+/// Read per operation (not cached) so a test can change `LMT_THREADS`
+/// mid-process and observe the new width immediately.
+///
+/// # Panics
+/// Panics on an unparsable `LMT_THREADS` (matching the workspace's
+/// `PROPTEST_CASES` convention: abort rather than silently running with a
+/// different width).
+pub fn current_num_threads() -> usize {
+    match std::env::var("LMT_THREADS") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .unwrap_or_else(|e| panic!("invalid LMT_THREADS value {s:?}: {e}"))
+            .clamp(1, MAX_THREADS),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Split `p`, run `work` on each chunk (chunk 0 inline, the rest on scoped
+/// threads), and return results in chunk-index order.
+///
+/// Worker panics are re-raised on the calling thread.
+pub(crate) fn run_chunked<P, R, W>(p: P, min_len: usize, work: &W) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    W: Fn(P) -> R + Sync,
+{
+    let len = p.len();
+    let threads = current_num_threads();
+    let n_chunks = threads.min(len / min_len.max(1)).max(1);
+    if n_chunks == 1 {
+        return vec![work(p)];
+    }
+    let chunks = split_even(p, len, n_chunks);
+    std::thread::scope(|scope| {
+        let mut rest = chunks.into_iter();
+        let first = rest.next().expect("split_even yields at least one chunk");
+        let handles: Vec<_> = rest.map(|c| scope.spawn(move || work(c))).collect();
+        let mut out = Vec::with_capacity(handles.len() + 1);
+        out.push(work(first));
+        for h in handles {
+            out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+        }
+        out
+    })
+}
+
+/// Split `p` (of length `len`) into exactly `n_chunks` contiguous chunks
+/// whose sizes differ by at most one, earlier chunks never larger.
+fn split_even<P: Producer>(mut p: P, mut len: usize, n_chunks: usize) -> Vec<P> {
+    let mut out = Vec::with_capacity(n_chunks);
+    for remaining in (2..=n_chunks).rev() {
+        let take = len / remaining;
+        let (l, r) = p.split_at(take);
+        out.push(l);
+        p = r;
+        len -= take;
+    }
+    out.push(p);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_even_is_balanced_and_ordered() {
+        let chunks = split_even(0usize..10, 10, 3);
+        let lens: Vec<usize> = chunks.iter().map(Producer::len).collect();
+        assert_eq!(lens, vec![3, 3, 4]);
+        let flat: Vec<usize> = chunks.into_iter().flat_map(|c| c.into_seq()).collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_chunked_preserves_chunk_order() {
+        let sums = crate::test_support::at_width(4, || {
+            run_chunked(0usize..100, 1, &|c: std::ops::Range<usize>| {
+                c.into_seq().sum::<usize>()
+            })
+        });
+        assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        // Chunk sums must come back in index order: each chunk covers a
+        // contiguous ascending range, so sums are strictly increasing for
+        // this workload whenever more than one chunk ran.
+        if sums.len() > 1 {
+            assert!(sums.windows(2).all(|w| w[0] < w[1]), "sums={sums:?}");
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! Splittable work sources feeding the chunked thread pool.
+//!
+//! A [`Producer`] is the parallel-iterator analogue of `Iterator`: an ordered
+//! source of items that can be **split at an index** into a left and a right
+//! half, each itself a producer. The pool splits a producer into one chunk
+//! per worker, runs each chunk sequentially on its own thread, and recombines
+//! the per-chunk results **in index order** — which is what keeps the
+//! workspace's scheduling-independence contract (parallel ≡ sequential,
+//! bit-identical) intact for associative combine operations.
+//!
+//! Base producers wrap integer ranges, slices (shared and exclusive), and
+//! owned `Vec`s; adapter producers mirror the iterator adapters (`map`,
+//! `filter`, `enumerate`, `zip`) by splitting their inputs and re-wrapping
+//! the halves. Closures held by adapters live in an `Arc` so both halves of
+//! a split can share them across threads.
+
+use std::sync::Arc;
+
+/// An ordered, splittable source of items.
+///
+/// `len()` is exact for every producer except [`FilterProducer`], where it
+/// is an upper bound (the base length); `EXACT` records which case applies
+/// so index-sensitive adapters (`enumerate`) can reject filtered inputs.
+pub trait Producer: Send + Sized {
+    /// The element type.
+    type Item: Send;
+    /// The sequential iterator a chunk collapses into on its worker thread.
+    type IntoIter: Iterator<Item = Self::Item>;
+    /// Whether `len()` is exact (false only downstream of `filter`).
+    const EXACT: bool;
+
+    /// Number of items (upper bound downstream of `filter`).
+    fn len(&self) -> usize;
+
+    /// Whether `len()` is zero.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, index)` and `[index, len)`. `index ≤ len()`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Collapse into a sequential iterator (runs on one worker thread).
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+// ---- Integer ranges ------------------------------------------------------
+
+macro_rules! impl_range_producer_unsigned {
+    ($($t:ty),*) => {$(
+        impl Producer for std::ops::Range<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+            const EXACT: bool = true;
+
+            fn len(&self) -> usize {
+                if self.end <= self.start {
+                    0
+                } else {
+                    usize::try_from(self.end - self.start).unwrap_or(usize::MAX)
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start + index as $t;
+                (self.start..mid, mid..self.end)
+            }
+
+            fn into_seq(self) -> Self::IntoIter {
+                self
+            }
+        }
+    )*};
+}
+impl_range_producer_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_range_producer_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Producer for std::ops::Range<$t> {
+            type Item = $t;
+            type IntoIter = std::ops::Range<$t>;
+            const EXACT: bool = true;
+
+            fn len(&self) -> usize {
+                if self.end <= self.start {
+                    0
+                } else {
+                    usize::try_from((self.end as $u).wrapping_sub(self.start as $u))
+                        .unwrap_or(usize::MAX)
+                }
+            }
+
+            fn split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.start.wrapping_add(index as $t);
+                (self.start..mid, mid..self.end)
+            }
+
+            fn into_seq(self) -> Self::IntoIter {
+                self
+            }
+        }
+    )*};
+}
+impl_range_producer_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+// ---- Slices and Vec ------------------------------------------------------
+
+/// Producer over `&[T]` (yields `&T`).
+pub struct SliceProducer<'a, T> {
+    pub(crate) slice: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    const EXACT: bool = true;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(index);
+        (SliceProducer { slice: l }, SliceProducer { slice: r })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.iter()
+    }
+}
+
+/// Producer over `&mut [T]` (yields `&mut T`).
+pub struct SliceMutProducer<'a, T> {
+    pub(crate) slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    const EXACT: bool = true;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(index);
+        (SliceMutProducer { slice: l }, SliceMutProducer { slice: r })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.iter_mut()
+    }
+}
+
+/// Producer over an owned `Vec<T>`.
+pub struct VecProducer<T> {
+    pub(crate) vec: Vec<T>,
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    const EXACT: bool = true;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let right = self.vec.split_off(index);
+        (self, VecProducer { vec: right })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.vec.into_iter()
+    }
+}
+
+// ---- Adapters ------------------------------------------------------------
+
+/// `map` over a producer.
+pub struct MapProducer<P, F> {
+    pub(crate) base: P,
+    pub(crate) f: Arc<F>,
+}
+
+impl<P, F, U> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> U + Send + Sync,
+    U: Send,
+{
+    type Item = U;
+    type IntoIter = MapSeqIter<P::IntoIter, F>;
+    const EXACT: bool = P::EXACT;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            MapProducer {
+                base: l,
+                f: Arc::clone(&self.f),
+            },
+            MapProducer { base: r, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        MapSeqIter {
+            inner: self.base.into_seq(),
+            f: self.f,
+        }
+    }
+}
+
+/// Sequential side of [`MapProducer`].
+pub struct MapSeqIter<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I: Iterator, F, U> Iterator for MapSeqIter<I, F>
+where
+    F: Fn(I::Item) -> U,
+{
+    type Item = U;
+
+    fn next(&mut self) -> Option<U> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+}
+
+/// `filter` over a producer. `len()` becomes an upper bound.
+pub struct FilterProducer<P, F> {
+    pub(crate) base: P,
+    pub(crate) pred: Arc<F>,
+}
+
+impl<P, F> Producer for FilterProducer<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Send + Sync,
+{
+    type Item = P::Item;
+    type IntoIter = FilterSeqIter<P::IntoIter, F>;
+    const EXACT: bool = false;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            FilterProducer {
+                base: l,
+                pred: Arc::clone(&self.pred),
+            },
+            FilterProducer {
+                base: r,
+                pred: self.pred,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        FilterSeqIter {
+            inner: self.base.into_seq(),
+            pred: self.pred,
+        }
+    }
+}
+
+/// Sequential side of [`FilterProducer`].
+pub struct FilterSeqIter<I, F> {
+    inner: I,
+    pred: Arc<F>,
+}
+
+impl<I: Iterator, F> Iterator for FilterSeqIter<I, F>
+where
+    F: Fn(&I::Item) -> bool,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.inner.by_ref().find(|x| (self.pred)(x))
+    }
+}
+
+/// `enumerate` over a producer; the split offset keeps global indices.
+pub struct EnumerateProducer<P> {
+    pub(crate) base: P,
+    pub(crate) offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = EnumerateSeqIter<P::IntoIter>;
+    const EXACT: bool = P::EXACT;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateProducer {
+                base: l,
+                offset: self.offset,
+            },
+            EnumerateProducer {
+                base: r,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        EnumerateSeqIter {
+            inner: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+/// Sequential side of [`EnumerateProducer`].
+pub struct EnumerateSeqIter<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeqIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<(usize, I::Item)> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+}
+
+/// `zip` of two producers; length is the minimum of the two.
+pub struct ZipProducer<A, B> {
+    pub(crate) a: A,
+    pub(crate) b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for ZipProducer<A, B> {
+    type Item = (A::Item, B::Item);
+    type IntoIter = std::iter::Zip<A::IntoIter, B::IntoIter>;
+    const EXACT: bool = A::EXACT && B::EXACT;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}

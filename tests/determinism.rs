@@ -1,0 +1,202 @@
+//! Determinism regression layer for the real thread pool (PR 2).
+//!
+//! The workspace's scheduling-independence contract says the `Parallel` and
+//! `Sequential` engines produce **bit-identical** results — by design
+//! (per-node RNG streams, sender-sorted inboxes, no shared mutable state)
+//! and, since the `rayon` shim grew a real chunked thread pool, by the
+//! shim's index-order recombination. This suite locks the contract in on
+//! random graphs, at pool widths 1, 2, and 8 (`LMT_THREADS`): chunk
+//! boundaries move with the width, so any order-dependence in a `par_*`
+//! call site shows up as a cross-width or cross-engine mismatch here.
+//!
+//! Digests are `Debug` renderings of the full result structures (trees,
+//! weight vectors, metrics, token sets) — coarse but strict: any bit that
+//! prints differently fails the property.
+
+use local_mixing_repro::prelude::*;
+use lmt_congest::bfs::build_bfs_tree;
+use lmt_congest::flood::estimate_rw_probability_kind;
+use lmt_congest::message::olog_budget;
+use lmt_core::graph_tau::graph_local_mixing_time_sampled;
+use lmt_walks::sampler::endpoint_counts;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Pool widths exercised: inline (1), minimal split (2), oversubscribed (8).
+const WIDTHS: [usize; 3] = [1, 2, 8];
+
+/// Serializes width-pinning across this binary's tests (env is
+/// process-global). Note the pinned width is advisory for *other* concurrent
+/// test binaries' operations — harmless, since every assertion here is
+/// width-independent by construction.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Restores the prior `LMT_THREADS` even if an assertion unwinds mid-loop.
+struct EnvRestore(Option<String>);
+
+impl Drop for EnvRestore {
+    fn drop(&mut self) {
+        match self.0.take() {
+            Some(s) => std::env::set_var("LMT_THREADS", s),
+            None => std::env::remove_var("LMT_THREADS"),
+        }
+    }
+}
+
+/// Run `f` once at each pool width; return the per-width results.
+fn at_widths<T>(f: impl Fn() -> T) -> Vec<(usize, T)> {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _restore = EnvRestore(std::env::var("LMT_THREADS").ok());
+    WIDTHS
+        .iter()
+        .map(|&w| {
+            std::env::set_var("LMT_THREADS", w.to_string());
+            assert_eq!(rayon::current_num_threads(), w, "width pin failed");
+            (w, f())
+        })
+        .collect()
+}
+
+/// Strategy: spec of a connected-ish random regular graph (n·d even).
+fn regular_spec() -> impl Strategy<Value = (usize, usize, u64)> {
+    (5usize..20, 2usize..3, any::<u64>()).prop_map(|(half_n, half_d, seed)| (2 * half_n, 2 * half_d, seed))
+}
+
+/// `(sequential digest, parallel digest)` of one engine-backed computation.
+fn both_engines(digest: impl Fn(EngineKind) -> String) -> (String, String) {
+    (digest(EngineKind::Sequential), digest(EngineKind::Parallel))
+}
+
+/// Assert every width saw parallel ≡ sequential, and that results did not
+/// drift across widths.
+macro_rules! assert_width_table {
+    ($results:expr) => {
+        for (w, (seq, par)) in &$results {
+            prop_assert!(
+                seq == par,
+                "parallel != sequential at pool width {}:\n seq: {}\n par: {}",
+                w,
+                seq,
+                par
+            );
+        }
+        for pair in $results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "results drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    };
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// BFS-tree construction: tree structure and CONGEST metrics.
+    #[test]
+    fn bfs_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            both_engines(|engine| {
+                let (tree, m) =
+                    build_bfs_tree(&g, 0, u32::MAX, olog_budget(n, 10), engine, seed ^ 0xB5)
+                        .expect("bfs");
+                format!("{tree:?} | {m:?}")
+            })
+        });
+        assert_width_table!(results);
+    }
+
+    /// Probability flooding (Algorithm 1's substrate): fixed-point weight
+    /// vectors and metrics.
+    #[test]
+    fn flood_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            both_engines(|engine| {
+                let (weights, scale, m) = estimate_rw_probability_kind(
+                    &g, 0, 8, 6, WalkKind::Lazy, olog_budget(n, 10), engine, seed ^ 0xF1,
+                )
+                .expect("flood");
+                format!("{weights:?} | {scale:?} | {m:?}")
+            })
+        });
+        assert_width_table!(results);
+    }
+
+    /// Gossip push–pull: per-node token sets after 20 rounds. (Gossip runs
+    /// on its own simulator, not the round engine — this guards the
+    /// contract if it ever gains a parallel path, and pins run-to-run
+    /// determinism across pool widths today.)
+    #[test]
+    fn gossip_deterministic_across_widths((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            let mut gossip = Gossip::new(&g, GossipMode::Local, seed ^ 0x605);
+            gossip.run(20);
+            format!("{:?} | {}", gossip.tokens(), gossip.transmissions)
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "gossip drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    /// Walk sampling: the two-phase fold/reduce histogram. Width 1 takes the
+    /// inline (sequential) path, so cross-width equality *is* the
+    /// parallel ≡ sequential assertion for this call site.
+    #[test]
+    fn walk_sampling_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| endpoint_counts(&g, 0, 15, 600, seed ^ 0x3A7));
+        for (w, counts) in &results {
+            prop_assert!(counts.iter().sum::<u64>() == 600, "width {} lost walks", w);
+        }
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "endpoint counts drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
+
+proptest! {
+    // Each case runs Algorithm 2 from 2 sources × 2 engines × 3 widths;
+    // keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Graph-wide τ(β,ε) via Algorithm 2 (sampled sources): the full
+    /// per-source table, argmax, and aggregate CONGEST metrics.
+    #[test]
+    fn graph_tau_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            both_engines(|engine| {
+                let mut cfg = AlgoConfig::new(4.0);
+                cfg.engine = engine;
+                cfg.seed = seed ^ 0x7A0;
+                cfg.kind = WalkKind::Lazy; // well-defined even if g is bipartite
+                let r = graph_local_mixing_time_sampled(&g, &cfg, 2).expect("graph_tau");
+                format!(
+                    "tau={} argmax={} per_source={:?} metrics={:?}",
+                    r.tau, r.argmax, r.per_source, r.metrics
+                )
+            })
+        });
+        assert_width_table!(results);
+    }
+}

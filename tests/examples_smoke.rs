@@ -81,16 +81,21 @@ fn estimator_comparison_core_path() {
     assert!(flood.tau >= 1);
     assert!(flood.metrics.rounds > 0);
 
-    // In the grey-area regime (accuracy floor > ε) the sampling estimator
-    // probes every doubling length up to max_len before giving up, at
-    // K·ℓ walk-steps per probe — cap the probe budget so that worst case
-    // stays cheap.
+    // Mirror the example's first-class probe budget: in the grey-area
+    // regime (accuracy floor > ε) the sampling estimator bails out before
+    // charging a probe instead of doubling ℓ to max_len at K·ℓ walk-steps
+    // per probe.
     let mut samp_cfg = cfg;
-    samp_cfg.max_len = 1 << 12;
+    samp_cfg.probe_budget = Some(100_000);
     for walks in [50usize, 500] {
         let samp = das_sarma_style_estimate(&graph, src, &samp_cfg, walks);
         assert!(samp.accuracy_floor > 0.0);
-        assert!(samp.rounds_charged > 0);
+        if samp.in_grey_area(samp_cfg.eps) {
+            assert!(samp.bailed_out);
+            assert_eq!(samp.rounds_charged, 0);
+        } else {
+            assert!(samp.rounds_charged > 0);
+        }
         if let Some(tau) = samp.tau {
             assert!(tau >= 1);
         }
