@@ -1,0 +1,114 @@
+//! Micro-benches of the engine's **message-routing pass** in isolation.
+//!
+//! The protocols here do (almost) no local computation, so wall-clock is
+//! dominated by outbox→inbox delivery: exactly the pass ISSUE 3 rebuilds
+//! (arena reuse + counting delivery + destination-sharded parallelism).
+//! Two send patterns bracket the routing paths:
+//!
+//! * `broadcast` — every node `send_all`s one 1-bit ping per round (the
+//!   flood/BFS shape). Outboxes are emitted in ascending-destination order,
+//!   so the rebuilt router's fast path skips normalization entirely.
+//! * `scatter` — every node sends one counter to each neighbor
+//!   *individually, in descending order* (the adversarial shape). The old
+//!   engine paid a comparison sort per outbox per round; the rebuilt router
+//!   pays a degree-indexed counting pass.
+//!
+//! Sizes: n ∈ {2¹⁴, 2¹⁷} on 8-regular random graphs, 4 rounds per
+//! iteration. Sequential engine plus the parallel engine at pool widths
+//! 1/2/8 (`LMT_THREADS`). Numbers are recorded in EXPERIMENTS.md; on the
+//! single-CPU build container, parallel rows measure pool overhead, not
+//! speedup (see the caveat there).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmt_congest::engine::{Ctx, Network, Protocol};
+use lmt_congest::message::{olog_budget, Counter, Ping};
+use lmt_congest::EngineKind;
+use lmt_graph::{gen, Graph};
+
+const ROUNDS: u64 = 4;
+const DEGREE: usize = 8;
+
+/// Every node broadcasts one ping per round (ascending-destination sends).
+struct Broadcast;
+
+impl Protocol for Broadcast {
+    type Msg = Ping;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+        ctx.send_all(Ping);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Ping>, _inbox: &[(u32, Ping)]) {
+        if ctx.round() < ROUNDS {
+            ctx.send_all(Ping);
+        }
+    }
+}
+
+/// Every node sends one counter to each neighbor in *descending* order.
+struct Scatter;
+
+impl Scatter {
+    fn blast(ctx: &mut Ctx<'_, Counter>) {
+        let nbrs: Vec<usize> = ctx.neighbors().collect();
+        for &v in nbrs.iter().rev() {
+            ctx.send(v, Counter::new((v & 0xFF) as u64, 8));
+        }
+    }
+}
+
+impl Protocol for Scatter {
+    type Msg = Counter;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, Counter>) {
+        Self::blast(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, Counter>, _inbox: &[(u32, Counter)]) {
+        if ctx.round() < ROUNDS {
+            Self::blast(ctx);
+        }
+    }
+}
+
+/// Run `ROUNDS` rounds of protocol `P` and return total messages delivered.
+fn run<P: Protocol>(g: &Graph, make: fn(usize) -> P, engine: EngineKind) -> u64 {
+    let mut net = Network::new(g, make, olog_budget(g.n(), 10), engine, 7);
+    net.run_rounds(ROUNDS).expect("routing bench run");
+    net.metrics().messages
+}
+
+fn bench_routing(c: &mut Criterion) {
+    for log_n in [14u32, 17] {
+        let n = 1usize << log_n;
+        let g = gen::random_regular(n, DEGREE, 42);
+        let mut group = c.benchmark_group(format!("routing_n{n}"));
+        group.sample_size(if log_n >= 17 { 3 } else { 5 });
+
+        group.bench_function("broadcast/seq", |b| {
+            b.iter(|| run(&g, |_| Broadcast, EngineKind::Sequential))
+        });
+        for w in [1usize, 2, 8] {
+            std::env::set_var("LMT_THREADS", w.to_string());
+            group.bench_function(BenchmarkId::new("broadcast/par", w), |b| {
+                b.iter(|| run(&g, |_| Broadcast, EngineKind::Parallel))
+            });
+        }
+        std::env::remove_var("LMT_THREADS");
+
+        group.bench_function("scatter/seq", |b| {
+            b.iter(|| run(&g, |_| Scatter, EngineKind::Sequential))
+        });
+        for w in [1usize, 2, 8] {
+            std::env::set_var("LMT_THREADS", w.to_string());
+            group.bench_function(BenchmarkId::new("scatter/par", w), |b| {
+                b.iter(|| run(&g, |_| Scatter, EngineKind::Parallel))
+            });
+        }
+        std::env::remove_var("LMT_THREADS");
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -8,11 +8,20 @@
 //! rayon-parallel (real threads — node ranges are chunked across a scoped
 //! pool; see the `rayon` shim). Both produce **bit-identical** executions
 //! because (a) every node owns an RNG stream derived from `(seed, node_id)`
-//! only, (b) inboxes are assembled in ascending sender order, and (c) node
-//! steps never share mutable state. `tests/determinism.rs` (workspace root)
-//! locks this equivalence in at pool widths 1, 2, and 8.
+//! only, (b) inboxes are assembled in ascending sender order by the
+//! `routing` message plane, and (c) node steps never share mutable
+//! state. `tests/determinism.rs` (workspace root) locks this equivalence in
+//! at pool widths 1, 2, and 8.
+//!
+//! Message delivery lives in the `routing` module: outboxes keep themselves
+//! destination-sorted (or are normalized by a counting pass), and a
+//! destination-sharded gather assembles each inbox from its in-neighbors'
+//! message runs into arena buffers that are reused — not reallocated —
+//! every round. The engine only decides *when* to route and meters the
+//! result.
 
 use crate::message::Payload;
+use crate::routing::{Outbox, Router};
 use lmt_graph::Graph;
 use lmt_util::rng::RngFanout;
 use rand::rngs::SmallRng;
@@ -26,10 +35,10 @@ const PAR_MIN_CHUNK: usize = 128;
 /// Which executor to use. Results are identical; only wall-clock differs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum EngineKind {
-    /// Plain loop over nodes.
+    /// Plain loop over nodes; single-sharded routing.
     #[default]
     Sequential,
-    /// Rayon `par_iter` over nodes.
+    /// Rayon `par_iter` over nodes; destination-sharded parallel routing.
     Parallel,
 }
 
@@ -62,7 +71,9 @@ impl Metrics {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RunError {
     /// A node loaded more bits onto a directed edge in one round than the
-    /// CONGEST budget allows.
+    /// CONGEST budget allows. The reported edge is the lexicographically
+    /// smallest violating `(from, to)` of the round; the network is not
+    /// usable afterwards (the round's delivery is abandoned).
     BudgetExceeded {
         /// Sender node.
         from: usize,
@@ -103,7 +114,11 @@ impl std::error::Error for RunError {}
 ///
 /// Implementations hold the node's local state. The engine calls
 /// [`Protocol::init`] once, then [`Protocol::round`] every round with the
-/// messages received (sorted by sender id).
+/// messages received. The inbox is assembled by the routing pass
+/// (the `routing` module) as `(sender, message)` pairs **sorted by sender
+/// id**, with one sender's messages in the order that sender sent them —
+/// protocols may (and do) rely on that order for deterministic
+/// tie-breaking.
 pub trait Protocol: Send {
     /// The message type this protocol exchanges.
     type Msg: Payload;
@@ -120,7 +135,7 @@ pub struct Ctx<'a, M: Payload> {
     id: usize,
     graph: &'a Graph,
     round: u64,
-    outbox: &'a mut Vec<(u32, M)>,
+    outbox: &'a mut Outbox<M>,
     /// The node's deterministic RNG stream.
     pub rng: &'a mut SmallRng,
 }
@@ -158,9 +173,15 @@ impl<M: Payload> Ctx<'_, M> {
 
     /// Send `msg` to neighbor `to`.
     ///
+    /// Sending to a non-neighbor (including to oneself — graphs have no
+    /// self-loops) is a protocol bug, not a runtime condition: debug
+    /// builds panic here. Release builds do not re-check adjacency on the
+    /// hot path; a non-adjacent destination is then unspecified behavior
+    /// at the CONGEST-model level (the message may be delivered anyway,
+    /// or panic during outbox normalization).
+    ///
     /// # Panics
-    /// Panics if `to` is not adjacent — a protocol bug, not a runtime
-    /// condition.
+    /// Panics in debug builds if `to` is not adjacent.
     pub fn send(&mut self, to: usize, msg: M) {
         debug_assert!(
             self.graph.has_edge(self.id, to),
@@ -168,29 +189,79 @@ impl<M: Payload> Ctx<'_, M> {
             self.id,
             to
         );
-        self.outbox.push((to as u32, msg));
+        self.outbox.push(to as u32, msg);
     }
 
     /// Send a copy of `msg` to every neighbor.
+    ///
+    /// Emits destinations in ascending adjacency order, which keeps the
+    /// outbox on the routing fast path (no normalization needed) —
+    /// broadcast-only protocols like flooding and BFS never sort anything.
     pub fn send_all(&mut self, msg: M) {
-        let nbrs: Vec<usize> = self.graph.neighbors(self.id).collect();
-        for v in nbrs {
-            self.outbox.push((v as u32, msg.clone()));
-        }
+        self.outbox
+            .extend_broadcast(self.graph.neighbors_raw(self.id), msg);
     }
 }
 
 struct NodeSlot<P: Protocol> {
     proto: P,
-    outbox: Vec<(u32, P::Msg)>,
     rng: SmallRng,
 }
 
 /// A network of nodes running protocol `P` on a graph.
+///
+/// # Example
+///
+/// A one-token flood, run to quiescence on a path — the smallest complete
+/// protocol: infected nodes ping their neighbors once.
+///
+/// ```
+/// use lmt_congest::engine::{Ctx, EngineKind, Network, Protocol};
+/// use lmt_congest::message::{olog_budget, Ping};
+/// use lmt_graph::gen;
+///
+/// struct Infect {
+///     infected: bool,
+/// }
+///
+/// impl Protocol for Infect {
+///     type Msg = Ping;
+///
+///     fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+///         if ctx.id() == 0 {
+///             self.infected = true;
+///             ctx.send_all(Ping);
+///         }
+///     }
+///
+///     fn round(&mut self, ctx: &mut Ctx<'_, Ping>, inbox: &[(u32, Ping)]) {
+///         if !inbox.is_empty() && !self.infected {
+///             self.infected = true;
+///             ctx.send_all(Ping);
+///         }
+///     }
+/// }
+///
+/// let g = gen::path(6);
+/// let mut net = Network::new(
+///     &g,
+///     |_| Infect { infected: false },
+///     olog_budget(g.n(), 8),
+///     EngineKind::Sequential,
+///     42,
+/// );
+/// net.run_until_quiet(100)?;
+/// assert!(net.node_states().all(|s| s.infected));
+/// // The flood pays one round per hop of eccentricity (5 on this path),
+/// // plus one quiet round to detect termination.
+/// assert_eq!(net.metrics().rounds, 6);
+/// # Ok::<(), lmt_congest::RunError>(())
+/// ```
 pub struct Network<'g, P: Protocol> {
     graph: &'g Graph,
     nodes: Vec<NodeSlot<P>>,
-    inboxes: Vec<Vec<(u32, P::Msg)>>,
+    outboxes: Vec<Outbox<P::Msg>>,
+    router: Router<P::Msg>,
     round: u64,
     metrics: Metrics,
     budget_bits: u32,
@@ -213,15 +284,15 @@ impl<'g, P: Protocol> Network<'g, P> {
         let nodes: Vec<NodeSlot<P>> = (0..graph.n())
             .map(|id| NodeSlot {
                 proto: make(id),
-                outbox: Vec::new(),
                 rng: fan.node(id),
             })
             .collect();
-        let inboxes = (0..graph.n()).map(|_| Vec::new()).collect();
+        let outboxes = (0..graph.n()).map(|_| Outbox::new()).collect();
         Network {
             graph,
             nodes,
-            inboxes,
+            outboxes,
+            router: Router::new(graph.n()),
             round: 0,
             metrics: Metrics::default(),
             budget_bits,
@@ -251,6 +322,23 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.nodes.iter().map(|s| &s.proto)
     }
 
+    /// Cumulative count of message-plane heap growth events (outbox
+    /// buffers, normalization scratch, inbox arenas).
+    ///
+    /// The buffers warm up over the first rounds and are then reused, so
+    /// this counter is **flat across steady-state rounds** — the
+    /// allocation-free-routing regression tests pin exactly that. A
+    /// mid-run pool-width change (`LMT_THREADS`) re-shards the inbox arena
+    /// and may bump it once.
+    pub fn routing_alloc_events(&self) -> u64 {
+        self.router.alloc_events()
+            + self
+                .outboxes
+                .iter()
+                .map(Outbox::alloc_events)
+                .sum::<u64>()
+    }
+
     /// Run the `init` hook (idempotent).
     fn ensure_init(&mut self) -> Result<(), RunError> {
         if self.initialized {
@@ -261,78 +349,80 @@ impl<'g, P: Protocol> Network<'g, P> {
         let round = self.round;
         match self.engine {
             EngineKind::Sequential => {
-                for (id, slot) in self.nodes.iter_mut().enumerate() {
+                for (id, (slot, outbox)) in
+                    self.nodes.iter_mut().zip(self.outboxes.iter_mut()).enumerate()
+                {
                     let mut ctx = Ctx {
                         id,
                         graph,
                         round,
-                        outbox: &mut slot.outbox,
+                        outbox: &mut *outbox,
                         rng: &mut slot.rng,
                     };
                     slot.proto.init(&mut ctx);
+                    outbox.normalize(graph.neighbors_raw(id));
                 }
             }
             EngineKind::Parallel => {
                 self.nodes
                     .par_iter_mut()
                     .with_min_len(PAR_MIN_CHUNK)
+                    .zip(self.outboxes.par_iter_mut())
                     .enumerate()
-                    .for_each(|(id, slot)| {
+                    .for_each(|(id, (slot, outbox))| {
                         let mut ctx = Ctx {
                             id,
                             graph,
                             round,
-                            outbox: &mut slot.outbox,
+                            outbox: &mut *outbox,
                             rng: &mut slot.rng,
                         };
                         slot.proto.init(&mut ctx);
+                        outbox.normalize(graph.neighbors_raw(id));
                     });
             }
         }
         self.route()
     }
 
-    /// Move outboxes into inboxes, enforcing the per-edge budget and
-    /// updating metrics. Senders are drained in ascending id order so each
-    /// inbox ends up sorted by sender.
+    /// Deliver all outboxes into the inbox arena, enforcing the per-edge
+    /// budget and updating metrics.
+    ///
+    /// The heavy lifting is the `routing` module's gather pass (destination-
+    /// sharded on the thread pool for the parallel engine): senders are
+    /// visited in ascending id order per destination, so each inbox ends up
+    /// sorted by sender. On a budget violation the round's metrics are
+    /// discarded and the smallest `(from, to)` offender is reported.
     fn route(&mut self) -> Result<(), RunError> {
-        let mut sends = 0u64;
-        for from in 0..self.nodes.len() {
-            if self.nodes[from].outbox.is_empty() {
-                continue;
-            }
-            // Per-destination bit accounting for this sender this round.
-            let mut outbox = std::mem::take(&mut self.nodes[from].outbox);
-            outbox.sort_by_key(|(to, _)| *to);
-            let mut i = 0;
-            while i < outbox.len() {
-                let to = outbox[i].0;
-                let mut edge_bits = 0u32;
-                let mut j = i;
-                while j < outbox.len() && outbox[j].0 == to {
-                    edge_bits = edge_bits.saturating_add(outbox[j].1.encoded_bits());
-                    j += 1;
-                }
-                if edge_bits > self.budget_bits {
-                    return Err(RunError::BudgetExceeded {
-                        from,
-                        to: to as usize,
-                        round: self.round,
-                        bits: edge_bits,
-                        budget: self.budget_bits,
-                    });
-                }
-                self.metrics.max_edge_bits = self.metrics.max_edge_bits.max(edge_bits);
-                self.metrics.bits += edge_bits as u64;
-                i = j;
-            }
-            sends += outbox.len() as u64;
-            for (to, msg) in outbox {
-                self.inboxes[to as usize].push((from as u32, msg));
-            }
+        let parallel = self.engine == EngineKind::Parallel;
+        let outcome = self
+            .router
+            .route(&self.outboxes, self.budget_bits, parallel);
+        if let Some((from, to, bits)) = outcome.violation {
+            return Err(RunError::BudgetExceeded {
+                from: from as usize,
+                to: to as usize,
+                round: self.round,
+                bits,
+                budget: self.budget_bits,
+            });
         }
-        self.metrics.messages += sends;
-        self.last_round_sends = sends;
+        debug_assert_eq!(
+            outcome.delivered,
+            self.outboxes.iter().map(|o| o.len() as u64).sum::<u64>(),
+            "router dropped or duplicated messages (non-neighbor send?)"
+        );
+        self.metrics.messages += outcome.delivered;
+        self.metrics.bits += outcome.bits;
+        self.metrics.max_edge_bits = self.metrics.max_edge_bits.max(outcome.max_edge_bits);
+        self.last_round_sends = outcome.delivered;
+        // Outboxes were only read by the gather; empty the (active) ones
+        // for the next round, keeping their allocations — silent nodes'
+        // outboxes are already empty and cost nothing.
+        let router = &self.router;
+        for &u in router.active() {
+            self.outboxes[u as usize].clear();
+        }
         Ok(())
     }
 
@@ -343,43 +433,41 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.metrics.rounds += 1;
         let graph = self.graph;
         let round = self.round;
-        // Hand each node its inbox; run the step; collect sends.
-        let inboxes = std::mem::take(&mut self.inboxes);
+        let router = &self.router;
         match self.engine {
             EngineKind::Sequential => {
-                for (id, (slot, inbox)) in self.nodes.iter_mut().zip(&inboxes).enumerate() {
+                for (id, (slot, outbox)) in
+                    self.nodes.iter_mut().zip(self.outboxes.iter_mut()).enumerate()
+                {
                     let mut ctx = Ctx {
                         id,
                         graph,
                         round,
-                        outbox: &mut slot.outbox,
+                        outbox: &mut *outbox,
                         rng: &mut slot.rng,
                     };
-                    slot.proto.round(&mut ctx, inbox);
+                    slot.proto.round(&mut ctx, router.inbox(id));
+                    outbox.normalize(graph.neighbors_raw(id));
                 }
             }
             EngineKind::Parallel => {
                 self.nodes
                     .par_iter_mut()
                     .with_min_len(PAR_MIN_CHUNK)
-                    .zip(inboxes.par_iter())
+                    .zip(self.outboxes.par_iter_mut())
                     .enumerate()
-                    .for_each(|(id, (slot, inbox))| {
+                    .for_each(|(id, (slot, outbox))| {
                         let mut ctx = Ctx {
                             id,
                             graph,
                             round,
-                            outbox: &mut slot.outbox,
+                            outbox: &mut *outbox,
                             rng: &mut slot.rng,
                         };
-                        slot.proto.round(&mut ctx, inbox);
+                        slot.proto.round(&mut ctx, router.inbox(id));
+                        outbox.normalize(graph.neighbors_raw(id));
                     });
             }
-        }
-        // Re-install (now empty) inbox buffers, reusing allocations.
-        self.inboxes = inboxes;
-        for ib in &mut self.inboxes {
-            ib.clear();
         }
         self.route()?;
         Ok(self.last_round_sends)
@@ -393,12 +481,13 @@ impl<'g, P: Protocol> Network<'g, P> {
         Ok(())
     }
 
-    /// Run until a round in which no messages were sent **and** none were
-    /// pending delivery (network quiescence), or until `max_rounds`.
+    /// Run until a round in which no messages were sent (network
+    /// quiescence — every sent message is delivered the next round, so no
+    /// sends also means nothing is pending), or until `max_rounds`.
     pub fn run_until_quiet(&mut self, max_rounds: u64) -> Result<(), RunError> {
         self.ensure_init()?;
         for _ in 0..max_rounds {
-            if self.last_round_sends == 0 && self.inboxes.iter().all(|b| b.is_empty()) {
+            if self.last_round_sends == 0 {
                 return Ok(());
             }
             self.step()?;
@@ -433,7 +522,7 @@ impl<'g, P: Protocol> Network<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::message::{olog_budget, Ping};
+    use crate::message::{olog_budget, Counter, Ping};
     use lmt_graph::gen;
 
     /// Flood a single token: infected nodes ping all neighbors once.
@@ -516,12 +605,12 @@ mod tests {
     /// A protocol that deliberately overstuffs an edge.
     struct Blaster;
     impl Protocol for Blaster {
-        type Msg = crate::message::Counter;
+        type Msg = Counter;
         fn init(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
             if ctx.id() == 0 {
                 // 3 × 40-bit messages on one edge in one round.
                 for _ in 0..3 {
-                    ctx.send(1, crate::message::Counter::new(1, 40));
+                    ctx.send(1, Counter::new(1, 40));
                 }
             }
         }
@@ -558,5 +647,197 @@ mod tests {
         let mut net = infect_net(&g, EngineKind::Sequential);
         let err = net.run_until(|_| false, 3).unwrap_err();
         assert_eq!(err, RunError::RoundLimit(3));
+    }
+
+    // -----------------------------------------------------------------
+    // Routing edge cases (ISSUE 3): zero-message rounds, self-sends,
+    // hub nodes, arena reuse.
+    // -----------------------------------------------------------------
+
+    /// Sends a burst in one round, then goes silent for `quiet` rounds,
+    /// then bursts again — exercising zero-message rounds mid-run and the
+    /// arena's clear-between-rounds discipline.
+    struct Bursty {
+        bursts_seen: u64,
+        inbox_log: Vec<(u64, Vec<u32>)>,
+    }
+
+    impl Protocol for Bursty {
+        type Msg = Ping;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            if ctx.id() == 0 {
+                ctx.send_all(Ping);
+            }
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, Ping>, inbox: &[(u32, Ping)]) {
+            if !inbox.is_empty() {
+                self.bursts_seen += 1;
+                self.inbox_log
+                    .push((ctx.round(), inbox.iter().map(|(f, _)| *f).collect()));
+            }
+            // Node 0 bursts again in round 4 only.
+            if ctx.id() == 0 && ctx.round() == 4 {
+                ctx.send_all(Ping);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_message_rounds_and_no_cross_round_leaks() {
+        for kind in [EngineKind::Sequential, EngineKind::Parallel] {
+            let g = gen::star(8); // 8 nodes: hub 0 + 7 leaves
+            let mut net = Network::new(
+                &g,
+                |_| Bursty {
+                    bursts_seen: 0,
+                    inbox_log: Vec::new(),
+                },
+                olog_budget(8, 8),
+                kind,
+                1,
+            );
+            net.run_rounds(8).unwrap();
+            for id in 1..g.n() {
+                let node = net.node(id);
+                // Exactly two bursts arrive (rounds 1 and 5): the arena's
+                // reuse never re-delivers round 1's messages during the
+                // three silent rounds in between.
+                assert_eq!(node.bursts_seen, 2, "node {id} ({kind:?})");
+                assert_eq!(
+                    node.inbox_log,
+                    vec![(1, vec![0]), (5, vec![0])],
+                    "node {id} ({kind:?})"
+                );
+            }
+        }
+    }
+
+    /// Attempts a self-send, which the adjacency contract forbids (graphs
+    /// have no self-loops).
+    struct Narcissist;
+    impl Protocol for Narcissist {
+        type Msg = Ping;
+        fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            let id = ctx.id();
+            ctx.send(id, Ping);
+        }
+        fn round(&mut self, _: &mut Ctx<'_, Ping>, _: &[(u32, Ping)]) {}
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn self_send_rejected() {
+        let g = gen::path(3);
+        let mut net = Network::new(&g, |_| Narcissist, 8, EngineKind::Sequential, 0);
+        let _ = net.run_rounds(1);
+    }
+
+    /// Hub stress: on a star, the hub receives one message from every leaf
+    /// in one round (max-degree inbox) and broadcasts to all of them the
+    /// next (max-degree outbox).
+    struct PingPong {
+        got: usize,
+    }
+    impl Protocol for PingPong {
+        type Msg = Ping;
+        fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+            if ctx.id() != 0 {
+                ctx.send(0, Ping);
+            }
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_, Ping>, inbox: &[(u32, Ping)]) {
+            self.got += inbox.len();
+            if ctx.id() == 0 && !inbox.is_empty() {
+                ctx.send_all(Ping);
+            }
+        }
+    }
+
+    #[test]
+    fn max_degree_hub_inbox_sorted_and_complete() {
+        let n = 500; // beyond PAR_MIN_CHUNK so the parallel path shards
+        let g = gen::star(n); // hub 0 + n−1 leaves
+        for kind in [EngineKind::Sequential, EngineKind::Parallel] {
+            let mut net = Network::new(&g, |_| PingPong { got: 0 }, 8, kind, 3);
+            net.run_rounds(2).unwrap();
+            assert_eq!(net.node(0).got, n - 1, "{kind:?}");
+            for id in 1..g.n() {
+                assert_eq!(net.node(id).got, 1, "leaf {id} ({kind:?})");
+            }
+            assert_eq!(net.metrics().messages, 2 * (n as u64 - 1));
+        }
+    }
+
+    #[test]
+    fn steady_state_rounds_are_allocation_free() {
+        // Flood shares back and forth forever: every round has the same
+        // message volume, so after warm-up no buffer may grow.
+        struct Chatter;
+        impl Protocol for Chatter {
+            type Msg = Ping;
+            fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+                ctx.send_all(Ping);
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, Ping>, _: &[(u32, Ping)]) {
+                ctx.send_all(Ping);
+            }
+        }
+        for kind in [EngineKind::Sequential, EngineKind::Parallel] {
+            let g = gen::random_regular(300, 4, 5);
+            let mut net = Network::new(&g, |_| Chatter, 8, kind, 7);
+            net.run_rounds(3).unwrap(); // warm-up: arenas size themselves
+            let warmed = net.routing_alloc_events();
+            net.run_rounds(50).unwrap();
+            assert_eq!(
+                net.routing_alloc_events(),
+                warmed,
+                "message plane allocated during steady-state rounds ({kind:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn descending_sends_match_sorted_contract() {
+        // A protocol that sends to neighbors in descending order: the
+        // normalize pass must restore exactly the old sorted-inbox
+        // semantics (sender-ascending, per-sender send order).
+        struct Reverse {
+            seen: Vec<Vec<u32>>,
+        }
+        impl Protocol for Reverse {
+            type Msg = Counter;
+            fn init(&mut self, ctx: &mut Ctx<'_, Counter>) {
+                let nbrs: Vec<usize> = ctx.neighbors().collect();
+                for (i, &v) in nbrs.iter().rev().enumerate() {
+                    ctx.send(v, Counter::new(i as u64, 8));
+                }
+            }
+            fn round(&mut self, _: &mut Ctx<'_, Counter>, inbox: &[(u32, Counter)]) {
+                self.seen.push(inbox.iter().map(|(f, _)| *f).collect());
+            }
+        }
+        let g = gen::random_regular(64, 6, 11);
+        let run = |kind| {
+            let mut net = Network::new(&g, |_| Reverse { seen: Vec::new() }, 64, kind, 5);
+            net.run_rounds(1).unwrap();
+            let logs: Vec<Vec<Vec<u32>>> =
+                net.node_states().map(|s| s.seen.clone()).collect();
+            (logs, net.metrics())
+        };
+        let (seq_logs, seq_m) = run(EngineKind::Sequential);
+        let (par_logs, par_m) = run(EngineKind::Parallel);
+        assert_eq!(seq_logs, par_logs);
+        assert_eq!(seq_m, par_m);
+        for (id, logs) in seq_logs.iter().enumerate() {
+            let senders = &logs[0];
+            assert!(
+                senders.windows(2).all(|w| w[0] < w[1]),
+                "node {id} inbox not sender-sorted: {senders:?}"
+            );
+            assert_eq!(senders.len(), 6, "node {id} lost messages");
+        }
     }
 }

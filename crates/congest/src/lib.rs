@@ -12,6 +12,39 @@
 //! per-edge bits (rejecting protocols that exceed the configured budget), and
 //! deliberately does *not* model wall-clock network latency.
 //!
+//! ## Rounds, the engine, and message routing
+//!
+//! [`engine::Network`] drives one [`engine::Protocol`] instance per node
+//! through synchronous rounds: round 0 is the `init` hook; in every round
+//! `t ≥ 1` a node receives the messages sent in round `t−1` (its *inbox*),
+//! updates local state, and queues sends (its *outbox*). Between rounds the
+//! routing pass (the crate-private `routing` module) moves every outbox
+//! into the receiving inboxes while metering the CONGEST budget.
+//!
+//! Two contracts make executions reproducible and engine-independent:
+//!
+//! * **The outbox→inbox contract.** An inbox is a `&[(sender, message)]`
+//!   slice **sorted by sender id**, with one sender's messages appearing in
+//!   the order that sender sent them. Protocols rely on this for
+//!   deterministic tie-breaking (e.g. BFS adopts the smallest-id parent).
+//! * **Engine equivalence.** The sequential and rayon-parallel executors
+//!   are bit-identical at every pool width: per-node RNG streams depend
+//!   only on `(seed, node id)`, node steps share no mutable state, and
+//!   routing output is a pure function of `(outboxes, graph)`.
+//!
+//! The message plane is arena-based: outbox buffers, normalization
+//! scratch, and the destination-major inbox arena are allocated once per
+//! `Network` and cleared — not dropped — between rounds, so steady-state
+//! rounds are allocation-free
+//! ([`engine::Network::routing_alloc_events`] observes this). Outboxes
+//! track destination-sortedness incrementally — broadcast-only and
+//! single-destination protocols (flooding, BFS, convergecast) skip sorting
+//! entirely — and unsorted outboxes are restored by a stable
+//! degree-indexed counting pass rather than a comparison sort. Delivery
+//! gathers each destination's inbox from its in-neighbors' message runs
+//! and is sharded by destination across the thread pool for the parallel
+//! engine.
+//!
 //! ## Structure
 //!
 //! * [`message`] — the [`message::Payload`] trait (semantic wire-size
@@ -19,6 +52,8 @@
 //! * [`engine`] — [`engine::Network`]: sequential and rayon-parallel round
 //!   executors with identical (deterministic, seeded) semantics, budget
 //!   enforcement, quiescence detection and [`engine::Metrics`].
+//! * `routing` (crate-private) — the arena-backed message plane described
+//!   above.
 //! * [`bfs`] — distributed BFS-tree construction by flooding (depth-limited,
 //!   as used in step 3 of Algorithm 2), verified against the centralized
 //!   traversal.
@@ -41,6 +76,7 @@ pub mod binsearch;
 pub mod engine;
 pub mod flood;
 pub mod message;
+pub(crate) mod routing;
 pub mod tree;
 pub mod upcast;
 

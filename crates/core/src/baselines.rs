@@ -176,6 +176,27 @@ impl SamplingEstimate {
 ///   is charged (the §1.2 regime where \[10\]'s approach breaks down);
 /// * **budget** — probing stops before any probe whose pipelined cost
 ///   `ℓ + K` would push `rounds_charged` past the budget.
+///
+/// # Example
+///
+/// The grey area in action: with `K = 64` walks on 32 nodes the sampling
+/// floor is `√(32/64) ≈ 0.71`, far above the default `ε = 1/8e ≈ 0.046` —
+/// so with a probe budget set, the estimator refuses to spend a single
+/// round on probes that could not certify mixing anyway.
+///
+/// ```
+/// use lmt_core::baselines::das_sarma_style_estimate;
+/// use lmt_core::AlgoConfig;
+/// use lmt_graph::gen;
+///
+/// let g = gen::complete(32);
+/// let mut cfg = AlgoConfig::new(2.0);
+/// cfg.probe_budget = Some(10_000);
+/// let est = das_sarma_style_estimate(&g, 0, &cfg, 64);
+/// assert!(est.bailed_out);
+/// assert!(est.in_grey_area(cfg.eps));
+/// assert_eq!(est.rounds_charged, 0);
+/// ```
 pub fn das_sarma_style_estimate(
     g: &Graph,
     src: usize,

@@ -37,6 +37,22 @@ pub struct GraphTauResult {
 
 /// Graph-wide τ via Algorithm 2 from **every** node (footnote 6's O(n)
 /// overhead, paid explicitly).
+///
+/// # Example
+///
+/// ```
+/// use lmt_core::graph_tau::graph_local_mixing_time_approx;
+/// use lmt_core::AlgoConfig;
+/// use lmt_graph::gen;
+///
+/// // On a complete graph every source mixes in one step.
+/// let g = gen::complete(16);
+/// let r = graph_local_mixing_time_approx(&g, &AlgoConfig::new(2.0))?;
+/// assert_eq!(r.tau, 1);
+/// assert_eq!(r.per_source.len(), 16);
+/// assert!(r.metrics.rounds > 0); // real CONGEST rounds were paid
+/// # Ok::<(), lmt_core::approx::AlgoError>(())
+/// ```
 pub fn graph_local_mixing_time_approx(
     g: &Graph,
     cfg: &AlgoConfig,
@@ -49,6 +65,19 @@ pub fn graph_local_mixing_time_approx(
 ///
 /// A *lower bound* on the true max — see T12 for how badly a small sample
 /// can miss a rare worst class.
+///
+/// # Example
+///
+/// ```
+/// use lmt_core::graph_tau::graph_local_mixing_time_sampled;
+/// use lmt_core::AlgoConfig;
+/// use lmt_graph::gen;
+///
+/// let (g, _) = gen::ring_of_cliques_regular(3, 8);
+/// let r = graph_local_mixing_time_sampled(&g, &AlgoConfig::new(3.0), 4)?;
+/// assert_eq!(r.per_source.len(), 4); // only the sampled sources ran
+/// # Ok::<(), lmt_core::approx::AlgoError>(())
+/// ```
 pub fn graph_local_mixing_time_sampled(
     g: &Graph,
     cfg: &AlgoConfig,

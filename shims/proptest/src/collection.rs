@@ -3,7 +3,7 @@
 use crate::strategy::{Reject, Strategy};
 use crate::test_runner::TestRng;
 
-/// Acceptable length specifications for [`vec`]: a fixed `usize` or a
+/// Acceptable length specifications for [`vec()`](vec()): a fixed `usize` or a
 /// `Range<usize>` of lengths.
 pub trait IntoLenRange {
     /// Draw a length.
@@ -51,7 +51,7 @@ pub fn vec<S: Strategy, L: IntoLenRange>(elem: S, len: L) -> VecStrategy<S, L> {
     VecStrategy { elem, len }
 }
 
-/// See [`vec`].
+/// See [`vec()`](vec()).
 pub struct VecStrategy<S, L> {
     elem: S,
     len: L,

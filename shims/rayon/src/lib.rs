@@ -27,6 +27,25 @@
 //! worker chunk), and `reduce(identity, op)` combines them left-to-right in
 //! chunk order. Swap in real `rayon` by repointing the workspace `rayon`
 //! path dependency; no call-site changes.
+//!
+//! ## Fidelity notes (vs upstream rayon)
+//!
+//! * **Static chunking, no work stealing.** Upstream rayon splits
+//!   adaptively and idle workers steal; this shim splits once into
+//!   contiguous, near-equal chunks. Straggler chunks therefore serialize —
+//!   fine for the workspace's uniform per-item workloads, and the price of
+//!   a much stronger guarantee: chunk boundaries are a pure function of
+//!   `(len, width, min_len)`.
+//! * **Fresh scoped threads per operation, no persistent pool.** Spawn cost
+//!   is paid per consuming call (`with_min_len` keeps small inputs inline),
+//!   and there is no global pool state to configure or leak between tests.
+//! * **Surface subset.** Only the combinators the workspace uses exist;
+//!   notably `enumerate` after `filter` is rejected at construction rather
+//!   than silently renumbering.
+//! * **Determinism is contractual here, observed-only upstream.** Upstream
+//!   rayon is deterministic for associative combines too, but this shim's
+//!   index-order recombination plus static chunking make the guarantee easy
+//!   to state and test (`tests/determinism.rs` at the workspace root).
 
 #![forbid(unsafe_code)]
 

@@ -1,7 +1,8 @@
 //! Chunked scoped-thread execution.
 //!
 //! Every consuming operation on a [`crate::ParIter`] funnels through
-//! [`run_chunked`]: split the producer into at most `current_num_threads()`
+//! the crate-private `run_chunked`: split the producer into at most
+//! [`current_num_threads()`](current_num_threads)
 //! contiguous chunks (each at least `min_len` items), run chunk 0 on the
 //! calling thread and the rest on `std::thread::scope` workers, and return
 //! the per-chunk results **in chunk-index order**. Recombination order never

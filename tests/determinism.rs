@@ -173,6 +173,148 @@ proptest! {
     }
 }
 
+/// Adversarial workout for the arena router (ISSUE 3): every node rotates
+/// through the three routing paths — broadcast (`send_all`, the sorted fast
+/// path), descending per-neighbor sends (forces the counting normalize),
+/// and an RNG-chosen single destination (exercises per-node streams) — and
+/// folds every inbox it observes, order-sensitively, into a rolling hash.
+/// Any routing discrepancy (ordering, duplication, loss, cross-round leak)
+/// at any pool width lands in the digest.
+mod routing_mixer {
+    use lmt_congest::engine::{Ctx, Network, Protocol};
+    use lmt_congest::message::Counter;
+    use lmt_congest::EngineKind;
+    use rand::Rng;
+
+    const ROUNDS: u64 = 6;
+
+    pub struct Mixer {
+        hash: u64,
+        horizon: u64,
+    }
+
+    impl Mixer {
+        fn absorb(&mut self, round: u64, inbox: &[(u32, Counter)]) {
+            for (from, c) in inbox {
+                // Order-sensitive FNV-style fold: permuted inboxes diverge.
+                for word in [round, *from as u64, c.value] {
+                    self.hash = (self.hash ^ word).wrapping_mul(0x100000001b3);
+                }
+            }
+        }
+    }
+
+    impl Protocol for Mixer {
+        type Msg = Counter;
+
+        fn init(&mut self, ctx: &mut Ctx<'_, Counter>) {
+            ctx.send_all(Counter::new(ctx.id() as u64 & 0xFF, 8));
+        }
+
+        fn round(&mut self, ctx: &mut Ctx<'_, Counter>, inbox: &[(u32, Counter)]) {
+            self.absorb(ctx.round(), inbox);
+            if ctx.round() >= self.horizon {
+                return;
+            }
+            match ctx.round() % 3 {
+                0 => ctx.send_all(Counter::new(ctx.round() & 0xFF, 8)),
+                1 => {
+                    // Descending destinations: the slow (normalize) path.
+                    let nbrs: Vec<usize> = ctx.neighbors().collect();
+                    for (i, &v) in nbrs.iter().rev().enumerate() {
+                        ctx.send(v, Counter::new(i as u64 & 0xFF, 8));
+                    }
+                }
+                _ => {
+                    // One RNG-chosen destination: the single-run path.
+                    let d = ctx.degree();
+                    let pick = ctx.rng.gen_range(0..d);
+                    let v = ctx.neighbors().nth(pick).expect("degree > pick");
+                    ctx.send(v, Counter::new(pick as u64 & 0xFF, 8));
+                }
+            }
+        }
+    }
+
+    fn network(g: &lmt_graph::Graph, engine: EngineKind, seed: u64, horizon: u64) -> Network<'_, Mixer> {
+        Network::new(
+            g,
+            move |_| Mixer {
+                hash: 0xcbf29ce484222325,
+                horizon,
+            },
+            lmt_congest::message::olog_budget(g.n(), 8),
+            engine,
+            seed,
+        )
+    }
+
+    /// Per-node inbox hashes plus metrics after `ROUNDS` rounds.
+    pub fn digest(g: &lmt_graph::Graph, engine: EngineKind, seed: u64) -> String {
+        let mut net = network(g, engine, seed, ROUNDS);
+        net.run_rounds(ROUNDS).expect("mixer run");
+        let hashes: Vec<u64> = net.node_states().map(|s| s.hash).collect();
+        format!("{hashes:?} | {:?}", net.metrics())
+    }
+
+    /// Warm the arenas through two full send-pattern cycles, then assert
+    /// the message plane stops allocating (at whatever shard layout the
+    /// current pool width implies).
+    pub fn assert_steady_alloc(g: &lmt_graph::Graph, engine: EngineKind) {
+        let mut net = network(g, engine, 0xA110C, 24);
+        net.run_rounds(6).expect("warm-up");
+        let warmed = net.routing_alloc_events();
+        net.run_rounds(12).expect("steady run");
+        assert_eq!(
+            net.routing_alloc_events(),
+            warmed,
+            "message plane allocated in steady state ({engine:?}, width {})",
+            rayon::current_num_threads(),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The rebuilt message plane: mixed broadcast / descending-scatter /
+    /// RNG-single sends must be bit-identical across engines and widths.
+    #[test]
+    fn routing_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            both_engines(|engine| routing_mixer::digest(&g, engine, seed ^ 0x209))
+        });
+        assert_width_table!(results);
+    }
+}
+
+/// The multi-shard gather for real: n = 1024 = 4·ROUTE_MIN_SHARD, so the
+/// parallel engine routes with 2 destination shards at width 2 and 4 at
+/// width 8 — exercising `Router::route`'s par-dispatch and outcome merge
+/// end-to-end, which the small proptest graphs (single shard) cannot.
+#[test]
+fn routing_multi_shard_parallel_equals_sequential() {
+    let g = gen::random_regular(1024, 4, 77);
+    assert!(props::is_connected(&g), "workload must be connected");
+    let results = at_widths(|| {
+        both_engines(|engine| routing_mixer::digest(&g, engine, 0xD15C))
+    });
+    for (w, (seq, par)) in &results {
+        assert_eq!(seq, par, "parallel != sequential at pool width {w}");
+    }
+    for pair in results.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "results drifted between widths {} and {}",
+            pair[0].0, pair[1].0
+        );
+    }
+    // Steady-state allocation-freedom must hold at every shard layout too.
+    at_widths(|| routing_mixer::assert_steady_alloc(&g, EngineKind::Parallel));
+}
+
 proptest! {
     // Each case runs Algorithm 2 from 2 sources × 2 engines × 3 widths;
     // keep the case count low.
