@@ -1,0 +1,120 @@
+//! Micro-benches of the weighted walk substrate (ISSUE 4): the weighted
+//! pull step against its unweighted twin (the price of the per-edge
+//! multiply + `f64` walk-degree divide), and weighted end-to-end mixing —
+//! the oracle's `τ_s` search and the weighted CONGEST flood.
+//!
+//! Recorded in EXPERIMENTS.md ("weighted" row-set). The interesting ratio
+//! is `weighted_step/unit` vs `weighted_step/unweighted`: identical
+//! topology, identical result (bit-for-bit), the delta is pure weight
+//! arithmetic + the extra `2m` f64 loads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lmt_congest::flood::{estimate_rw_probability_kind, estimate_rw_probability_weighted};
+use lmt_congest::message::olog_budget;
+use lmt_congest::EngineKind;
+use lmt_graph::{gen, WeightedGraph};
+use lmt_walks::local::LocalMixOptions;
+use lmt_walks::mixing::mixing_time;
+use lmt_walks::step::evolve;
+use lmt_walks::{Dist, WalkKind};
+
+fn bench_weighted_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_step");
+    group.sample_size(10);
+    for n in [1024usize, 16384] {
+        let g = gen::random_regular(n, 8, 1);
+        let unit = WeightedGraph::unit(g.clone());
+        let weighted = gen::weighted::random_weights(g.clone(), 0.25, 4.0, 7);
+        let p0 = Dist::point(n, 0);
+        group.bench_with_input(BenchmarkId::new("unweighted_x10", n), &g, |b, g| {
+            b.iter(|| evolve(g, &p0, WalkKind::Lazy, 10).get(0))
+        });
+        group.bench_with_input(BenchmarkId::new("unit_x10", n), &unit, |b, g| {
+            b.iter(|| evolve(g, &p0, WalkKind::Lazy, 10).get(0))
+        });
+        group.bench_with_input(BenchmarkId::new("random_x10", n), &weighted, |b, g| {
+            b.iter(|| evolve(g, &p0, WalkKind::Lazy, 10).get(0))
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted_mixing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_mixing");
+    group.sample_size(10);
+
+    // Oracle τ_s on the weighted clique ring (weight-blind twin for scale).
+    let (topo, _) = gen::ring_of_cliques_regular(4, 16);
+    let uniform = gen::weighted::uniform_weights(topo.clone(), 2.0);
+    group.bench_function("oracle_tau_s_clique_ring_unweighted", |b| {
+        let o = LocalMixOptions::new(4.0);
+        b.iter(|| {
+            lmt_walks::local::local_mixing_time(&topo, 3, &o)
+                .expect("local mixing")
+                .tau
+        })
+    });
+    group.bench_function("oracle_tau_s_clique_ring_weighted", |b| {
+        let o = LocalMixOptions::new(4.0);
+        b.iter(|| {
+            lmt_walks::local::local_mixing_time(&uniform, 3, &o)
+                .expect("local mixing")
+                .tau
+        })
+    });
+
+    // Global mixing on the weighted barbell: the bridge-weight bottleneck.
+    let (barbell, _) = gen::weighted_barbell(4, 12, 0.5);
+    group.bench_function("tau_mix_weighted_barbell_b0.5", |b| {
+        let eps = 1.0 / (8.0 * std::f64::consts::E);
+        b.iter(|| {
+            mixing_time(&barbell, 1, eps, WalkKind::Lazy, 1_000_000)
+                .expect("mixing")
+                .tau
+        })
+    });
+
+    // The weighted CONGEST flood vs the unweighted protocol, same topology.
+    let n = 1024;
+    let g = gen::random_regular(n, 8, 1);
+    let wg = gen::weighted::random_weights(g.clone(), 0.25, 4.0, 7);
+    let budget = olog_budget(n, 10);
+    group.bench_function("flood_100_steps_unweighted", |b| {
+        b.iter(|| {
+            estimate_rw_probability_kind(
+                &g,
+                0,
+                100,
+                6,
+                WalkKind::Simple,
+                budget,
+                EngineKind::Sequential,
+                3,
+            )
+            .unwrap()
+            .2
+            .rounds
+        })
+    });
+    group.bench_function("flood_100_steps_weighted", |b| {
+        b.iter(|| {
+            estimate_rw_probability_weighted(
+                &wg,
+                0,
+                100,
+                6,
+                WalkKind::Simple,
+                budget,
+                EngineKind::Sequential,
+                3,
+            )
+            .unwrap()
+            .2
+            .rounds
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_step, bench_weighted_mixing);
+criterion_main!(benches);

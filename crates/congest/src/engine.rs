@@ -165,6 +165,17 @@ impl<M: Payload> Ctx<'_, M> {
         self.graph.neighbors(self.id)
     }
 
+    /// The `i`-th neighbor of this node (0-based within the sorted
+    /// adjacency) — indexed access for protocols that carry CSR-aligned
+    /// per-edge state (e.g. the weighted flood's quantized weight row).
+    ///
+    /// # Panics
+    /// Panics if `i >= degree()`.
+    #[inline]
+    pub fn neighbor(&self, i: usize) -> usize {
+        self.graph.neighbor(self.id, i)
+    }
+
     /// Current round number (0 during `init`).
     #[inline]
     pub fn round(&self) -> u64 {

@@ -22,7 +22,7 @@
 use crate::config::AlgoConfig;
 use lmt_congest::bfs::build_bfs_tree;
 use lmt_congest::binsearch::{sum_of_r_smallest, Outside};
-use lmt_congest::flood::estimate_rw_probability_kind;
+use lmt_congest::flood::FloodGraph;
 use lmt_congest::{Metrics, RunError};
 use lmt_graph::Graph;
 use lmt_util::fixed::FixedScale;
@@ -138,13 +138,23 @@ pub(crate) fn grid_check(
 }
 
 /// Run Algorithm 2 from `src`.
-pub fn local_mixing_time_approx(
-    g: &Graph,
+///
+/// Generic over the [`FloodGraph`] seam: on a plain [`Graph`] this is the
+/// paper's algorithm unchanged (and bit-identical to the pre-trait code);
+/// on a [`lmt_graph::WeightedGraph`] the Algorithm 1 phase floods weighted
+/// shares (`∝` quantized edge weight) while the BFS tree and the
+/// binary-search convergecast run on the shared topology. The flat `1/R`
+/// acceptance target is exact for weight-regular graphs and an
+/// approximation for near-regular ones, mirroring the unweighted §3
+/// regularity assumption.
+pub fn local_mixing_time_approx<G: FloodGraph + ?Sized>(
+    g: &G,
     src: usize,
     cfg: &AlgoConfig,
 ) -> Result<ApproxResult, AlgoError> {
     cfg.validate();
     assert!(src < g.n(), "source out of range");
+    let topo = g.topology();
     let budget = cfg.budget_bits(g.n());
     let mut metrics = Metrics::default();
     let mut iterations = Vec::new();
@@ -156,7 +166,7 @@ pub fn local_mixing_time_approx(
         // Step 3: BFS tree of depth min{D, ℓ}.
         let depth_limit = u32::try_from(ell).unwrap_or(u32::MAX);
         let (tree, m_bfs) = build_bfs_tree(
-            g,
+            topo,
             src,
             depth_limit,
             budget,
@@ -165,9 +175,8 @@ pub fn local_mixing_time_approx(
         )?;
         metrics.absorb(&m_bfs);
 
-        // Step 4: Algorithm 1 for ℓ rounds.
-        let (weights, scale, m_flood) = estimate_rw_probability_kind(
-            g,
+        // Step 4: Algorithm 1 for ℓ rounds (per-substrate dispatch).
+        let (weights, scale, m_flood) = g.estimate_flood(
             src,
             ell,
             cfg.c,
@@ -181,7 +190,7 @@ pub fn local_mixing_time_approx(
         // Steps 5–12: the (1+ε) size grid with the 4ε acceptance test.
         let mut sizes_checked = 0;
         let accepted = grid_check(
-            g,
+            topo,
             &tree,
             &weights,
             scale,
@@ -271,5 +280,36 @@ mod tests {
         assert_eq!(a.ell, b.ell);
         assert_eq!(a.accepted_size, b.accepted_size);
         assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn weighted_unit_graph_identical_to_unweighted() {
+        // End-to-end Algorithm 2 on the weighted substrate with unit
+        // weights: accepted length, set size, sum, and every metric must
+        // match the unweighted run exactly.
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let wg = lmt_graph::WeightedGraph::unit(g.clone());
+        let cfg = AlgoConfig::new(4.0);
+        let a = local_mixing_time_approx(&g, 5, &cfg).unwrap();
+        let b = local_mixing_time_approx(&wg, 5, &cfg).unwrap();
+        assert_eq!(a.ell, b.ell);
+        assert_eq!(a.accepted_size, b.accepted_size);
+        assert_eq!(a.accepted_sum.to_bits(), b.accepted_sum.to_bits());
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn weighted_uniform_scaling_is_invisible_to_the_walk() {
+        // The walk sees weight *ratios* only: uniform weight 3 must accept
+        // at the same length/size as unit weight (shares differ by at most
+        // quantization noise, which uniform scaling cancels exactly).
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        let unit = lmt_graph::WeightedGraph::unit(g.clone());
+        let scaled = lmt_graph::gen::weighted::uniform_weights(g, 3.0);
+        let cfg = AlgoConfig::new(3.0);
+        let a = local_mixing_time_approx(&unit, 2, &cfg).unwrap();
+        let b = local_mixing_time_approx(&scaled, 2, &cfg).unwrap();
+        assert_eq!(a.ell, b.ell);
+        assert_eq!(a.accepted_size, b.accepted_size);
     }
 }

@@ -16,8 +16,8 @@
 
 use crate::approx::{local_mixing_time_approx, AlgoError};
 use crate::config::AlgoConfig;
+use lmt_congest::flood::FloodGraph;
 use lmt_congest::Metrics;
-use lmt_graph::Graph;
 use lmt_util::rng::fork;
 use rand::seq::SliceRandom;
 
@@ -53,18 +53,26 @@ pub struct GraphTauResult {
 /// assert!(r.metrics.rounds > 0); // real CONGEST rounds were paid
 /// # Ok::<(), lmt_core::approx::AlgoError>(())
 /// ```
-pub fn graph_local_mixing_time_approx(
-    g: &Graph,
+pub fn graph_local_mixing_time_approx<G: FloodGraph + ?Sized>(
+    g: &G,
     cfg: &AlgoConfig,
 ) -> Result<GraphTauResult, AlgoError> {
     let sources: Vec<usize> = (0..g.n()).collect();
     graph_local_mixing_time_from(g, cfg, &sources)
 }
 
-/// Graph-wide τ estimated from `samples` uniformly chosen sources.
+/// Graph-wide τ estimated from `samples` uniformly chosen sources
+/// (sampling **without replacement**).
 ///
 /// A *lower bound* on the true max — see T12 for how badly a small sample
 /// can miss a rare worst class.
+///
+/// The result's `per_source` has exactly `samples` entries: since sources
+/// are drawn without replacement, asking for more sources than the graph
+/// has nodes is a caller bug and **panics** up front (it used to silently
+/// truncate to `n` after the shuffle, handing back fewer entries than
+/// requested with no signal). Use [`graph_local_mixing_time_approx`] for
+/// the every-source sweep.
 ///
 /// # Example
 ///
@@ -78,22 +86,31 @@ pub fn graph_local_mixing_time_approx(
 /// assert_eq!(r.per_source.len(), 4); // only the sampled sources ran
 /// # Ok::<(), lmt_core::approx::AlgoError>(())
 /// ```
-pub fn graph_local_mixing_time_sampled(
-    g: &Graph,
+///
+/// # Panics
+/// Panics if `samples == 0` or `samples > g.n()`.
+pub fn graph_local_mixing_time_sampled<G: FloodGraph + ?Sized>(
+    g: &G,
     cfg: &AlgoConfig,
     samples: usize,
 ) -> Result<GraphTauResult, AlgoError> {
     assert!(samples >= 1, "need at least one sample");
+    assert!(
+        samples <= g.n(),
+        "graph_local_mixing_time_sampled: {samples} sources requested from a {}-node graph \
+         (sampling is without replacement; use graph_local_mixing_time_approx for a full sweep)",
+        g.n()
+    );
     let mut all: Vec<usize> = (0..g.n()).collect();
     let mut rng = fork(cfg.seed, 0x5A3713);
     all.shuffle(&mut rng);
-    all.truncate(samples.min(g.n()));
+    all.truncate(samples);
     graph_local_mixing_time_from(g, cfg, &all)
 }
 
 /// Shared driver over an explicit source list.
-pub fn graph_local_mixing_time_from(
-    g: &Graph,
+pub fn graph_local_mixing_time_from<G: FloodGraph + ?Sized>(
+    g: &G,
     cfg: &AlgoConfig,
     sources: &[usize],
 ) -> Result<GraphTauResult, AlgoError> {
@@ -156,5 +173,29 @@ mod tests {
             .unwrap()
             .1;
         assert_eq!(reported, r.tau);
+    }
+
+    #[test]
+    #[should_panic(expected = "without replacement")]
+    fn oversampling_rejected_up_front() {
+        // Regression (ISSUE 4): asking for more sources than exist used to
+        // silently truncate after the shuffle.
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        let _ = graph_local_mixing_time_sampled(&g, &AlgoConfig::new(3.0), 25);
+    }
+
+    #[test]
+    fn weighted_sweep_runs_on_weighted_substrate() {
+        // The same trait seam drives the sweeps: a unit-weight graph's
+        // sampled sweep is identical to the unweighted one.
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        let wg = lmt_graph::WeightedGraph::unit(g.clone());
+        let cfg = AlgoConfig::new(3.0);
+        let a = graph_local_mixing_time_sampled(&g, &cfg, 5).unwrap();
+        let b = graph_local_mixing_time_sampled(&wg, &cfg, 5).unwrap();
+        assert_eq!(a.tau, b.tau);
+        assert_eq!(a.argmax, b.argmax);
+        assert_eq!(a.per_source, b.per_source);
+        assert_eq!(a.metrics, b.metrics);
     }
 }

@@ -25,6 +25,14 @@
 //! * [`graph_tau`] — graph-wide `τ(β,ε) = max_v τ_v` (footnote 6):
 //!   exhaustive and sampled-source variants.
 //! * [`config`] — shared run configuration.
+//!
+//! Algorithm 2 and the [`graph_tau`] sweeps are generic over the
+//! `FloodGraph` seam (`lmt-congest`, a supertrait of `lmt-graph`'s
+//! `WalkGraph`): they run unchanged — and bit-identically — on plain
+//! [`lmt_graph::Graph`]s, and on [`lmt_graph::WeightedGraph`]s with the
+//! Algorithm 1 phase flooding weighted shares (transition probability ∝
+//! quantized edge weight) while the BFS/convergecast phases use the shared
+//! topology.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -85,19 +85,22 @@ pub fn greedy_max_coverage(
     let mut covered = BitSet::new(universe);
     let mut chosen = Vec::new();
     for _ in 0..k {
-        let mut best: Option<(usize, usize)> = None; // (candidate idx, gain)
+        // Carry the winning set reference alongside (id, gain): re-finding
+        // the candidate by id afterwards was O(c) per pick and panicked if
+        // ids ever repeated — which distributed_max_coverage's token lists
+        // don't guarantee against.
+        let mut best: Option<(usize, usize, &BitSet)> = None;
         for &(id, set) in candidates {
             if chosen.contains(&id) {
                 continue;
             }
             let gain = set.iter().filter(|&e| !covered.contains(e)).count();
-            if best.is_none_or(|(_, bg)| gain > bg) {
-                best = Some((id, gain));
+            if best.is_none_or(|(_, bg, _)| gain > bg) {
+                best = Some((id, gain, set));
             }
         }
         match best {
-            Some((id, gain)) if gain > 0 => {
-                let set = candidates.iter().find(|(i, _)| *i == id).unwrap().1;
+            Some((id, gain, set)) if gain > 0 => {
                 covered.union_with(set);
                 chosen.push(id);
             }
@@ -171,6 +174,29 @@ mod tests {
         assert_eq!(covered, 4); // {0,1,2} plus either {2,3} or {4}: gain 1
         let (_, covered3) = greedy_max_coverage(6, &cands, 3);
         assert_eq!(covered3, 5); // element 5 belongs to no set
+    }
+
+    #[test]
+    fn greedy_tolerates_duplicate_candidate_ids() {
+        // Regression (ISSUE 4): the chosen candidate used to be re-found by
+        // id (`find(...).unwrap()`); duplicate ids then either panicked or
+        // unioned the *wrong* set. With the reference carried through, the
+        // winning set itself is the one applied.
+        let mk = |els: &[usize]| {
+            let mut s = BitSet::new(6);
+            for &e in els {
+                s.insert(e);
+            }
+            s
+        };
+        let small = mk(&[5]);
+        let big = mk(&[0, 1, 2, 3]);
+        // Same id 7 twice, with different sets — the larger must win and
+        // its elements must be what ends up covered.
+        let cands: Vec<(usize, &BitSet)> = vec![(7, &small), (7, &big)];
+        let (chosen, covered) = greedy_max_coverage(6, &cands, 2);
+        assert_eq!(chosen, vec![7]);
+        assert_eq!(covered, 4);
     }
 
     #[test]

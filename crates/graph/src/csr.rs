@@ -62,6 +62,17 @@ impl Graph {
         &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
     }
 
+    /// The index range of `u`'s adjacency inside the flat neighbor array.
+    ///
+    /// Parallel per-edge attribute arrays (e.g. [`crate::WeightedGraph`]'s
+    /// weights) share the CSR offsets; this is the slice of such an array
+    /// that belongs to `u`, aligned entry-for-entry with
+    /// [`Graph::neighbors_raw`].
+    #[inline]
+    pub fn neighbor_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.offsets[u]..self.offsets[u + 1]
+    }
+
     /// The `i`-th neighbor of `u` (0-based within the sorted list).
     ///
     /// # Panics

@@ -13,6 +13,7 @@ mod basic;
 mod cliques;
 mod random;
 mod structured;
+pub mod weighted;
 
 pub use basic::{complete, complete_bipartite, cycle, path, star};
 pub use cliques::{
@@ -20,6 +21,7 @@ pub use cliques::{
 };
 pub use random::{erdos_renyi, random_regular, ring_of_expanders};
 pub use structured::{grid, hypercube, torus};
+pub use weighted::{weighted_barbell, weighted_ring_of_cliques_regular};
 
 use crate::Graph;
 

@@ -1,0 +1,190 @@
+//! The [`WalkGraph`] seam: one trait both [`Graph`] and
+//! [`crate::WeightedGraph`] implement, so the random-walk
+//! machinery in `lmt-walks` and the distributed algorithms in `lmt-core`
+//! accept either substrate through a single generic parameter.
+//!
+//! Design constraints (and why the methods look the way they do):
+//!
+//! * **Bit-for-bit preservation of the unweighted path.** The
+//!   [`Graph`] implementation performs *exactly* the
+//!   floating-point operations the pre-trait code performed, in the same
+//!   order ([`WalkGraph::pull`] is the old pull closure verbatim), so every
+//!   unweighted walk result — distributions, mixing times, sampled
+//!   endpoints — is unchanged to the last bit.
+//! * **Unit weights ≡ unweighted.** The
+//!   [`crate::WeightedGraph`] implementation computes each
+//!   inflow term as `p(u)·w/W(u)` (multiply *then* divide). With every
+//!   `w = 1.0` the multiplication is exact and `W(u)` is the exact integer
+//!   degree, so the weighted path reproduces the unweighted one bit-for-bit
+//!   — the property the workspace's `tests/weighted.rs` locks in.
+//! * **Scheduling independence.** Implementations are `Sync` and pure
+//!   (besides [`WalkGraph::sample_step`]'s caller-supplied RNG), so the
+//!   rayon-parallel walk step stays deterministic.
+//!
+//! Later scenario growth (the ROADMAP's dynamic edge-churn networks) plugs
+//! in by implementing this trait, not by rewriting the walk stack.
+
+use crate::Graph;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A graph a (possibly weighted) random walk can run on.
+///
+/// The walk semantics: from `u`, move to neighbor `v` with probability
+/// `w(u,v)/W(u)` and stay put with probability `loop_weight(u)/W(u)`, where
+/// `W(u) = Σ_v w(u,v) + loop_weight(u)` is the **walk degree**. The
+/// stationary distribution of this chain is `π(v) = W(v)/Σ_u W(u)` (weights
+/// are symmetric, so the chain is reversible). Unweighted graphs are the
+/// all-`w = 1`, no-loop special case; the lazy walk is the
+/// `loop_weight(u) = W_neighbors(u)` special case.
+pub trait WalkGraph: Sync {
+    /// The CSR topology the walk moves on (for BFS trees, CONGEST routing,
+    /// neighbor iteration — everything that is weight-blind).
+    fn topology(&self) -> &Graph;
+
+    /// Number of nodes.
+    #[inline]
+    fn n(&self) -> usize {
+        self.topology().n()
+    }
+
+    /// The walk degree `W(u)` (plain degree for unweighted graphs).
+    fn walk_degree(&self, u: usize) -> f64;
+
+    /// `Σ_u W(u)` — the normalization of the stationary distribution
+    /// (`2m` for unweighted graphs).
+    fn total_walk_weight(&self) -> f64;
+
+    /// Self-loop weight at `u` (0 for simple graphs).
+    fn loop_weight(&self, u: usize) -> f64;
+
+    /// One simple-walk pull: the inflow
+    /// `Σ_{u ∈ N(v)} p(u)·w(u,v)/W(u) + p(v)·loop_weight(v)/W(v)`
+    /// gathered at `v` from the distribution slice `p`.
+    ///
+    /// This is the hot kernel of the walk operator; each implementation
+    /// keeps its own arithmetic (see the module docs for why).
+    fn pull(&self, v: usize, p: &[f64]) -> f64;
+
+    /// `Some(π-value)` if the stationary distribution is exactly flat
+    /// (`1/n` everywhere — topologically regular for unweighted graphs,
+    /// equal walk degrees for weighted ones), else `None`. The §3
+    /// window-oracle and Algorithm 2 acceptance tests are only exact in
+    /// this setting.
+    fn flat_stationary(&self) -> Option<f64>;
+
+    /// One token step: sample the successor of `at` (a neighbor, or `at`
+    /// itself under a self-loop) from the walk's transition distribution.
+    ///
+    /// The unweighted implementation draws a uniform neighbor index with
+    /// the exact RNG consumption of the historical sampler, so seeded
+    /// unweighted walks are unchanged.
+    ///
+    /// # Panics
+    /// Panics if `at` has walk degree zero (no neighbors and no loop).
+    fn sample_step(&self, at: usize, rng: &mut SmallRng) -> usize;
+}
+
+impl WalkGraph for Graph {
+    #[inline]
+    fn topology(&self) -> &Graph {
+        self
+    }
+
+    #[inline]
+    fn walk_degree(&self, u: usize) -> f64 {
+        self.degree(u) as f64
+    }
+
+    #[inline]
+    fn total_walk_weight(&self) -> f64 {
+        self.total_volume() as f64
+    }
+
+    #[inline]
+    fn loop_weight(&self, _u: usize) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn pull(&self, v: usize, p: &[f64]) -> f64 {
+        // The pre-trait pull kernel, verbatim: every neighbor u of v has
+        // degree ≥ 1 (v is its neighbor), so the division is safe.
+        self.neighbors(v)
+            .map(|u| {
+                let d = self.degree(u);
+                debug_assert!(d > 0);
+                p[u] / d as f64
+            })
+            .sum()
+    }
+
+    #[inline]
+    fn flat_stationary(&self) -> Option<f64> {
+        // A 0-regular (edgeless) graph is "regular" to props::regularity,
+        // but has no stationary distribution at all — mirror the weighted
+        // impl's positive-degree requirement.
+        crate::props::regularity(self)
+            .filter(|&d| d > 0)
+            .map(|_| 1.0 / self.n() as f64)
+    }
+
+    #[inline]
+    fn sample_step(&self, at: usize, rng: &mut SmallRng) -> usize {
+        let d = self.degree(at);
+        assert!(d > 0, "walk stuck at isolated node {at}");
+        self.neighbor(at, rng.gen_range(0..d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use lmt_util::rng::fork;
+
+    #[test]
+    fn graph_walk_degree_is_degree() {
+        let g = gen::path(4); // degrees 1,2,2,1
+        assert_eq!(g.walk_degree(0), 1.0);
+        assert_eq!(g.walk_degree(1), 2.0);
+        assert_eq!(g.total_walk_weight(), 6.0);
+        assert_eq!(g.loop_weight(2), 0.0);
+    }
+
+    #[test]
+    fn graph_pull_matches_manual_inflow() {
+        let g = gen::path(3);
+        let p = [0.5, 0.25, 0.25];
+        // Node 1 gathers p(0)/1 + p(2)/1.
+        assert_eq!(g.pull(1, &p), 0.75);
+        // Node 0 gathers p(1)/2.
+        assert_eq!(g.pull(0, &p), 0.125);
+    }
+
+    #[test]
+    fn flat_stationary_only_for_regular() {
+        assert_eq!(gen::cycle(6).flat_stationary(), Some(1.0 / 6.0));
+        assert_eq!(gen::star(4).flat_stationary(), None);
+        // 0-regular is "regular" but has no stationary distribution.
+        assert_eq!(crate::GraphBuilder::new(3).build().flat_stationary(), None);
+    }
+
+    #[test]
+    fn sample_step_is_uniform_neighbor_draw() {
+        let g = gen::complete(5);
+        let mut a = fork(7, 1);
+        let mut b = fork(7, 1);
+        let via_trait = g.sample_step(2, &mut a);
+        let manual = g.neighbor(2, b.gen_range(0..g.degree(2)));
+        assert_eq!(via_trait, manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn sample_step_isolated_panics() {
+        let g = crate::GraphBuilder::new(2).build();
+        let mut rng = fork(0, 0);
+        let _ = g.sample_step(0, &mut rng);
+    }
+}

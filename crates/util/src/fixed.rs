@@ -131,6 +131,37 @@ impl FixedScale {
         }
     }
 
+    /// `nint(v · num / den)` — multiply by an integer weight numerator,
+    /// divide by an integer weight denominator, rounding to the **nearest**
+    /// multiple of `1/q` (ties round up, like [`Self::div_round`]).
+    ///
+    /// This is the *weighted* per-edge share `nint(w·ω(u,v)/Ω(u))` of the
+    /// weighted Algorithm 1, with edge weights quantized to integers
+    /// (`ω = wq`, `Ω = Σ wq`). When all quantized weights are equal —
+    /// `num = Q`, `den = d·Q` — the `Q` cancels exactly in the rational
+    /// `(2·v·num + den)/(2·den)` and the result equals
+    /// `div_round(v, d)` **bit-for-bit**, which is what keeps unit-weight
+    /// weighted floods identical to the unweighted protocol.
+    ///
+    /// # Panics
+    /// Panics if `den == 0` or the intermediate product overflows `u128`.
+    #[inline]
+    pub fn mul_div_round(&self, v: FixedQ, num: u128, den: u128) -> FixedQ {
+        assert!(den > 0, "FixedQ::mul_div_round: zero denominator");
+        let prod = v
+            .num
+            .checked_mul(num)
+            .expect("FixedQ::mul_div_round: product overflow");
+        // nint(prod/den) = floor((2·prod + den) / (2·den)).
+        let twice = prod
+            .checked_mul(2)
+            .and_then(|p| p.checked_add(den))
+            .expect("FixedQ::mul_div_round: rounding overflow");
+        FixedQ {
+            num: twice / den.checked_mul(2).expect("FixedQ::mul_div_round: denominator overflow"),
+        }
+    }
+
     /// Exact sum of two values at this scale.
     ///
     /// # Panics
@@ -260,6 +291,41 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn mul_div_round_uniform_weights_equal_div_round() {
+        // The bit-for-bit contract: num = Q, den = d·Q must reproduce
+        // div_round(v, d) for every numerator and degree, odd and even.
+        let s = FixedScale::new(50, 3);
+        const Q: u128 = 1 << 20;
+        for num in [0u128, 1, 2, 7, 123, 124_999, 125_000] {
+            let v = FixedQ::from_numerator(num);
+            for d in 1..=13usize {
+                assert_eq!(
+                    s.mul_div_round(v, Q, d as u128 * Q),
+                    s.div_round(v, d),
+                    "num={num} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mul_div_round_weights_shares() {
+        let s = FixedScale::new(10, 2); // q = 100
+        // 0.6 of mass 1.0: nint(100·3/5) = 60.
+        assert_eq!(s.mul_div_round(s.one(), 3, 5).numerator(), 60);
+        // Ties round up: nint(1/2) = 1.
+        let one_unit = FixedQ::from_numerator(1);
+        assert_eq!(s.mul_div_round(one_unit, 1, 2).numerator(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn mul_div_round_zero_den_panics() {
+        let s = FixedScale::new(4, 2);
+        let _ = s.mul_div_round(s.one(), 1, 0);
     }
 
     #[test]

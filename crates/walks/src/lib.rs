@@ -12,20 +12,38 @@
 //! Algorithm 1 also has its centralized reference here ([`fixed_flood`]),
 //! so the CONGEST implementation can be checked bit-for-bit.
 //!
+//! The whole stack is generic over the [`WalkGraph`] trait
+//! (re-exported from `lmt-graph`), so every operator runs on plain
+//! [`lmt_graph::Graph`]s — transition `1/d(u)`, the paper's setting, with
+//! the historical arithmetic preserved bit-for-bit — *and* on
+//! [`lmt_graph::WeightedGraph`]s, where the transition probability is
+//! `w(u,v)/W(u)` and the stationary distribution is `∝ W` (weighted
+//! degree). Unit weights reproduce the unweighted results exactly; the
+//! lazy walk is recoverable as a self-loop weight
+//! (`lmt_graph::gen::weighted::lazy_loops`).
+//!
 //! Modules:
 //! * [`dist`] — dense distribution vectors, L1/L∞ distances, restrictions.
-//! * [`step`] — one walk step (simple or lazy), rayon-parallel for large `n`.
-//! * [`stationary`] — `π` and restricted `π_S` (§2.2).
+//! * [`step`] — one walk step (simple or lazy, unweighted or weighted),
+//!   rayon-parallel for large `n`.
+//! * [`stationary`] — `π ∝ W` and restricted `π_S` (§2.2).
 //! * [`mixing`] — `τ_mix_s(ε)` (Definition 1), using Lemma 1 monotonicity,
 //!   with hard caps.
 //! * [`local`] — ground-truth `τ_s(β, ε)` via the sorted-window oracle, with
 //!   every set size or the paper's geometric `(1+ε)` grid, with or without
 //!   the `s ∈ S` constraint; restricted-distance profiles for the
-//!   non-monotonicity study.
+//!   non-monotonicity study. "Regular" means weight-regular on weighted
+//!   graphs.
 //! * [`fixed_flood`] — Algorithm 1 semantics (rounding to multiples of
-//!   `1/n^c`) as a centralized iteration.
+//!   `1/n^c`) as a centralized iteration, plus the weighted variant with
+//!   quantized edge weights ([`fixed_flood::QuantizedWeights`]).
 //! * [`sampler`] — token-level random-walk endpoint sampling (the Das Sarma
-//!   et al. baseline ingredient).
+//!   et al. baseline ingredient), weighted-transition aware.
+//!
+//! Walk entry points reject distributions that place mass on isolated
+//! (degree-0) nodes up front — `gen::erdos_renyi` can produce such nodes —
+//! instead of panicking or silently losing mass deep in an iteration; see
+//! the per-function `# Panics` sections.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,4 +57,5 @@ pub mod stationary;
 pub mod step;
 
 pub use dist::Dist;
+pub use lmt_graph::{WalkGraph, WeightedGraph};
 pub use step::WalkKind;

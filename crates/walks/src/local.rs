@@ -22,7 +22,7 @@
 
 use crate::step::{step, WalkKind};
 use crate::Dist;
-use lmt_graph::Graph;
+use lmt_graph::WalkGraph;
 use lmt_util::order::SortedPrefix;
 
 /// Which set sizes the existence check inspects.
@@ -35,6 +35,10 @@ pub enum SizeGrid {
 }
 
 /// How strictly to enforce the paper's §3 regularity assumption.
+///
+/// On weighted graphs "regular" means **weight-regular** — equal walk
+/// degrees `W(u)`, which is what makes the stationary distribution flat
+/// (checked via [`WalkGraph::flat_stationary`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlatPolicy {
     /// Reject non-regular graphs ([`LocalMixError::NotRegular`]).
@@ -233,20 +237,23 @@ pub fn check_dist(p: &Dist, sizes: &[usize], eps: f64, src: Option<usize>) -> Op
     }
 }
 
-/// Ground-truth local mixing time for a **regular** graph.
+/// Ground-truth local mixing time for a **regular** graph (weight-regular
+/// in the weighted case — see [`FlatPolicy`]).
 ///
 /// Steps the exact `f64` distribution from the point mass at `src` and runs
 /// [`check_dist`] each step until a witness appears.
-pub fn local_mixing_time(
-    g: &Graph,
+///
+/// # Panics
+/// Panics on invalid options, an out-of-range source, or an isolated
+/// source (the walk could never leave it).
+pub fn local_mixing_time<G: WalkGraph + ?Sized>(
+    g: &G,
     src: usize,
     opts: &LocalMixOptions,
 ) -> Result<LocalMixResult, LocalMixError> {
     opts.validate(g.n());
-    assert!(src < g.n(), "source out of range");
-    if opts.flat_policy == FlatPolicy::RequireRegular
-        && lmt_graph::props::regularity(g).is_none()
-    {
+    crate::step::assert_source(g, src, "local_mixing_time");
+    if opts.flat_policy == FlatPolicy::RequireRegular && g.flat_stationary().is_none() {
         return Err(LocalMixError::NotRegular);
     }
     let sizes = size_grid(g.n(), opts);
@@ -266,8 +273,8 @@ pub fn local_mixing_time(
 /// The local mixing time of the graph, `τ(β,ε) = max_v τ_v(β,ε)`
 /// (Definition 2), by running every source. `O(n)`-times the single-source
 /// cost, as the paper notes (§1 footnote 6).
-pub fn graph_local_mixing_time(
-    g: &Graph,
+pub fn graph_local_mixing_time<G: WalkGraph + ?Sized>(
+    g: &G,
     opts: &LocalMixOptions,
 ) -> Result<usize, LocalMixError> {
     let mut worst = 0;
@@ -281,13 +288,14 @@ pub fn graph_local_mixing_time(
 /// for `t = 0..=t_max`. **Not monotone** in general — the basis of experiment
 /// T9 (the paper's remark that Lemma 1 fails for restricted distances and why
 /// binary search over `ℓ` is unsound).
-pub fn local_profile(
-    g: &Graph,
+pub fn local_profile<G: WalkGraph + ?Sized>(
+    g: &G,
     src: usize,
     opts: &LocalMixOptions,
     t_max: usize,
 ) -> Vec<f64> {
     opts.validate(g.n());
+    crate::step::assert_source(g, src, "local_profile");
     let sizes = size_grid(g.n(), opts);
     let mut out = Vec::with_capacity(t_max + 1);
     let mut p = Dist::point(g.n(), src);
@@ -315,14 +323,15 @@ pub fn local_profile(
 
 /// The restricted-distance trace `t ↦ ‖p_tS − π_S‖₁` for a **fixed** set `S`
 /// on a regular graph (flat target `1/|S|`).
-pub fn restricted_trace(
-    g: &Graph,
+pub fn restricted_trace<G: WalkGraph + ?Sized>(
+    g: &G,
     src: usize,
     set: &[usize],
     kind: WalkKind,
     t_max: usize,
 ) -> Vec<f64> {
     assert!(!set.is_empty(), "restricted trace needs a non-empty set");
+    crate::step::assert_source(g, src, "restricted_trace");
     let target = 1.0 / set.len() as f64;
     let mut out = Vec::with_capacity(t_max + 1);
     let mut p = Dist::point(g.n(), src);
@@ -337,13 +346,14 @@ pub fn restricted_trace(
 }
 
 /// Exponential brute force over **all** subsets of allowed sizes, valid for
-/// arbitrary (including non-regular) graphs with `n ≤ 20`: the acceptance
-/// test uses the true `π_S(v) = d(v)/µ(S)` target.
+/// arbitrary (including non-regular, weighted) graphs with `n ≤ 20`: the
+/// acceptance test uses the true `π_S(v) = W(v)/µ(S)` target (unweighted:
+/// `d(v)/µ(S)`).
 ///
 /// Only the `s ∈ S` semantics of Definition 2 is offered (`require_source`
 /// equivalent); used to validate the window oracle.
-pub fn brute_force_local_mixing_time(
-    g: &Graph,
+pub fn brute_force_local_mixing_time<G: WalkGraph + ?Sized>(
+    g: &G,
     src: usize,
     beta: f64,
     eps: f64,
@@ -364,13 +374,13 @@ pub fn brute_force_local_mixing_time(
                 continue;
             }
             let members: Vec<usize> = (0..n).filter(|&b| mask >> b & 1 == 1).collect();
-            let mu: usize = members.iter().map(|&u| g.degree(u)).sum();
-            if mu == 0 {
+            let mu: f64 = members.iter().map(|&u| g.walk_degree(u)).sum();
+            if mu == 0.0 {
                 continue;
             }
             let dist: f64 = members
                 .iter()
-                .map(|&u| (p.get(u) - g.degree(u) as f64 / mu as f64).abs())
+                .map(|&u| (p.get(u) - g.walk_degree(u) / mu).abs())
                 .sum();
             if dist < eps {
                 return Some((t, members));
@@ -536,5 +546,57 @@ mod tests {
         let prof = local_profile(&g, 0, &opts(2.0), 5);
         assert_eq!(prof.len(), 6);
         assert!(prof[1] < prof[0]);
+    }
+
+    #[test]
+    fn weight_regular_graph_accepted_by_window_oracle() {
+        // Uniform weights keep transition probabilities — and τ_s — exactly
+        // equal to the unweighted graph's (the walk only sees ratios).
+        let (topo, _) = gen::ring_of_cliques_regular(4, 8);
+        let wg = gen::weighted::uniform_weights(topo.clone(), 2.5);
+        let a = local_mixing_time(&topo, 0, &opts(4.0)).unwrap();
+        let b = local_mixing_time(&wg, 0, &opts(4.0)).unwrap();
+        assert_eq!(a.tau, b.tau);
+        assert_eq!(a.witness.size, b.witness.size);
+    }
+
+    #[test]
+    fn weight_irregular_rejected_without_assume_flat() {
+        // A 1.25-weight bridge on k=16 cliques leaves walk degrees within
+        // ~2% of flat: RequireRegular must reject (weight-regularity is
+        // exact), AssumeFlat must still find the O(1) local mixing — the
+        // same treatment the paper gives its nearly-regular Figure 1 graph.
+        let (wg, _) = gen::weighted_ring_of_cliques_regular(4, 16, 1.25);
+        let err = local_mixing_time(&wg, 3, &opts(4.0)).unwrap_err();
+        assert_eq!(err, LocalMixError::NotRegular);
+        let mut o = opts(4.0);
+        o.flat_policy = FlatPolicy::AssumeFlat;
+        let r = local_mixing_time(&wg, 3, &o).unwrap();
+        assert!(r.tau <= 6, "expected fast local mixing, got {}", r.tau);
+    }
+
+    #[test]
+    fn weighted_oracle_matches_brute_force() {
+        // Weight-regular weighted cycle: window oracle (flat target) must
+        // agree with the exponential brute force (true π_S target).
+        let wg = gen::weighted::uniform_weights(gen::cycle(8), 3.0);
+        let mut o = opts(2.0);
+        o.kind = WalkKind::Lazy;
+        o.grid = SizeGrid::All;
+        o.require_source = true;
+        let fast = local_mixing_time(&wg, 0, &o).unwrap().tau;
+        let (brute, _) =
+            brute_force_local_mixing_time(&wg, 0, 2.0, o.eps, WalkKind::Lazy, 1000).unwrap();
+        assert_eq!(fast, brute);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn isolated_source_rejected() {
+        let mut b = lmt_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let _ = local_mixing_time(&g, 3, &opts(2.0));
     }
 }

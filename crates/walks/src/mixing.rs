@@ -3,7 +3,7 @@
 use crate::stationary::stationary;
 use crate::step::{step, Trajectory, WalkKind};
 use crate::Dist;
-use lmt_graph::Graph;
+use lmt_graph::WalkGraph;
 
 /// Outcome of a mixing-time computation.
 #[derive(Clone, Debug, PartialEq)]
@@ -36,18 +36,25 @@ impl std::fmt::Display for MixingError {
 impl std::error::Error for MixingError {}
 
 /// Compute `τ_mix_s(ε)` by stepping `p_t` from the point mass at `src` until
-/// `‖p_t − π‖₁ < ε`, up to `max_t` steps.
+/// `‖p_t − π‖₁ < ε`, up to `max_t` steps. Works on either walk substrate
+/// ([`WalkGraph`]): unweighted `π ∝ d`, weighted `π ∝ W`.
 ///
 /// By Lemma 1 the global L1 distance is non-increasing, so the first `t`
 /// below ε is *the* mixing time — no search structure needed.
-pub fn mixing_time(
-    g: &Graph,
+///
+/// # Panics
+/// Panics if `ε ∉ (0,1)`, `src` is out of range, or `src` is an isolated
+/// node (the walk could never leave it, and the mass would silently vanish
+/// mid-iteration otherwise — `gen::erdos_renyi` can emit such nodes).
+pub fn mixing_time<G: WalkGraph + ?Sized>(
+    g: &G,
     src: usize,
     eps: f64,
     kind: WalkKind,
     max_t: usize,
 ) -> Result<MixingResult, MixingError> {
     assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0,1)");
+    crate::step::assert_source(g, src, "mixing_time");
     let pi = stationary(g);
     let mut p = Dist::point(g.n(), src);
     for t in 0..=max_t {
@@ -67,8 +74,12 @@ pub fn mixing_time(
 
 /// The graph mixing time `τ_mix(ε) = max_v τ_mix_v(ε)` (Definition 1),
 /// computed exactly by running every source.
-pub fn graph_mixing_time(
-    g: &Graph,
+///
+/// # Panics
+/// As [`mixing_time`] — in particular, any isolated node makes the
+/// quantity undefined and panics on its turn as the source.
+pub fn graph_mixing_time<G: WalkGraph + ?Sized>(
+    g: &G,
     eps: f64,
     kind: WalkKind,
     max_t: usize,
@@ -83,7 +94,11 @@ pub fn graph_mixing_time(
 /// The trace `t ↦ ‖p_t − π‖₁` for `t = 0..=t_max` (Lemma 1 asserts this is
 /// non-increasing; experiment T9 checks it against the *restricted* trace,
 /// which is not).
-pub fn l1_trace(g: &Graph, src: usize, kind: WalkKind, t_max: usize) -> Vec<f64> {
+///
+/// # Panics
+/// As [`mixing_time`]: `src` must be in range and non-isolated.
+pub fn l1_trace<G: WalkGraph + ?Sized>(g: &G, src: usize, kind: WalkKind, t_max: usize) -> Vec<f64> {
+    crate::step::assert_source(g, src, "l1_trace");
     let pi = stationary(g);
     Trajectory::new(g, Dist::point(g.n(), src), kind)
         .take(t_max + 1)
@@ -166,5 +181,45 @@ mod tests {
     fn bad_eps_rejected() {
         let g = gen::path(4);
         let _ = mixing_time(&g, 0, 1.5, WalkKind::Lazy, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn isolated_source_rejected() {
+        // Degree-0 sources never mix and used to spin to max_t (simple
+        // walk) or drift (lazy); now rejected at the API boundary.
+        let mut b = lmt_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        let _ = mixing_time(&g, 3, EPS, WalkKind::Lazy, 100);
+    }
+
+    #[test]
+    fn unit_weights_mixing_time_bit_identical() {
+        let (g, _) = gen::barbell(3, 4);
+        let wg = lmt_graph::WeightedGraph::unit(g.clone());
+        let a = mixing_time(&g, 0, EPS, WalkKind::Lazy, 10_000).unwrap();
+        let b = mixing_time(&wg, 0, EPS, WalkKind::Lazy, 10_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            l1_trace(&g, 0, WalkKind::Lazy, 50),
+            l1_trace(&wg, 0, WalkKind::Lazy, 50)
+        );
+    }
+
+    #[test]
+    fn heavier_bridge_mixes_faster() {
+        // The weighted β-barbell's bottleneck dial: global mixing time is
+        // monotone-decreasing in the bridge weight.
+        let tau = |w: f64| {
+            let (g, _) = gen::weighted_barbell(3, 6, w);
+            mixing_time(&g, 0, EPS, WalkKind::Lazy, 200_000).unwrap().tau
+        };
+        let (slow, unit, fast) = (tau(0.25), tau(1.0), tau(4.0));
+        assert!(
+            slow > unit && unit > fast,
+            "bridge weight must dial mixing: τ(0.25)={slow}, τ(1)={unit}, τ(4)={fast}"
+        );
     }
 }

@@ -8,26 +8,57 @@
 //!   random walk, and tests validate that picture.
 
 use crate::Dist;
-use lmt_graph::Graph;
+use lmt_graph::WalkGraph;
 use lmt_util::rng::fork;
 use rand::Rng;
 use rayon::prelude::*;
 
+/// Panic unless a `len`-step token walk can start at `src`. An undirected
+/// walk never *reaches* an isolated node, so checking the source up front
+/// covers the whole trajectory — previously the panic fired mid-walk, deep
+/// in the parallel fold, when `gen::erdos_renyi` handed over a degree-0
+/// source.
+#[inline]
+fn assert_walk_start<G: WalkGraph + ?Sized>(g: &G, src: usize, len: usize, what: &str) {
+    assert!(src < g.n(), "{what}: source {src} out of range");
+    // Zero-length walks are fine anywhere (the endpoint is the source);
+    // only a moving walk needs a non-isolated start.
+    assert!(
+        len == 0 || g.walk_degree(src) > 0.0,
+        "{what}: source {src} is an isolated node (degree 0); a {len}-step walk cannot start"
+    );
+}
+
 /// Walk a single token for `len` steps from `src`; returns the endpoint.
-pub fn walk_endpoint(g: &Graph, src: usize, len: usize, seed: u64) -> usize {
+/// On weighted graphs each step moves with probability ∝ edge weight
+/// (self-loops stay put).
+///
+/// # Panics
+/// Panics up front if `src` is out of range or isolated with `len > 0`.
+pub fn walk_endpoint<G: WalkGraph + ?Sized>(g: &G, src: usize, len: usize, seed: u64) -> usize {
+    assert_walk_start(g, src, len, "walk_endpoint");
     let mut rng = fork(seed, 0x77A1_C0DE);
     let mut at = src;
     for _ in 0..len {
-        let d = g.degree(at);
-        assert!(d > 0, "walk stuck at isolated node {at}");
-        at = g.neighbor(at, rng.gen_range(0..d));
+        at = g.sample_step(at, &mut rng);
     }
     at
 }
 
 /// Run `walks` independent walks of length `len` from `src` (rayon-parallel,
 /// deterministic in `seed`) and return endpoint counts per node.
-pub fn endpoint_counts(g: &Graph, src: usize, len: usize, walks: usize, seed: u64) -> Vec<u64> {
+///
+/// # Panics
+/// As [`walk_endpoint`]: isolated sources are rejected before any walk
+/// spawns.
+pub fn endpoint_counts<G: WalkGraph + ?Sized>(
+    g: &G,
+    src: usize,
+    len: usize,
+    walks: usize,
+    seed: u64,
+) -> Vec<u64> {
+    assert_walk_start(g, src, len, "endpoint_counts");
     // Each item is a full `len`-step walk — meaty enough that small chunks
     // pay off, but batching 16 walks still amortizes the per-chunk
     // accumulator (`vec![0; n]`) and the spawn.
@@ -55,14 +86,19 @@ pub fn endpoint_counts(g: &Graph, src: usize, len: usize, walks: usize, seed: u6
 }
 
 /// Empirical endpoint distribution `p̂_len` from `walks` samples.
-pub fn empirical_distribution(
-    g: &Graph,
+///
+/// # Panics
+/// Panics if `walks == 0`, or (as [`walk_endpoint`]) if `src` is out of
+/// range or isolated with `len > 0`.
+pub fn empirical_distribution<G: WalkGraph + ?Sized>(
+    g: &G,
     src: usize,
     len: usize,
     walks: usize,
     seed: u64,
 ) -> Dist {
     assert!(walks > 0, "need at least one walk");
+    // (src, len) are validated by endpoint_counts below.
     let counts = endpoint_counts(g, src, len, walks, seed);
     Dist::from_vec(
         counts
@@ -121,5 +157,42 @@ mod tests {
         let a = endpoint_counts(&g, 0, 10, 2000, 3);
         let b = endpoint_counts(&g, 0, 10, 2000, 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_empirical_approaches_weighted_exact() {
+        // Token sampling and the exact operator must agree on a skewed
+        // weighted triangle: both see transition probability ∝ weight.
+        let mut b = lmt_graph::WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 8.0);
+        b.add_edge(0, 2, 2.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let len = 3;
+        let exact = evolve(&g, &Dist::point(3, 0), WalkKind::Simple, len);
+        let emp = empirical_distribution(&g, 0, len, 40_000, 13);
+        assert!(
+            emp.l1_distance(&exact) < 0.05,
+            "L1 = {}",
+            emp.l1_distance(&exact)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot start")]
+    fn isolated_source_rejected_up_front() {
+        // erdos_renyi can emit degree-0 nodes; the sampler must refuse at
+        // the boundary, not panic mid-walk inside the parallel fold.
+        let g = gen::erdos_renyi(12, 0.05, 4);
+        let isolated = (0..g.n())
+            .find(|&v| g.degree(v) == 0)
+            .expect("seed chosen to produce an isolated node");
+        let _ = walk_endpoint(&g, isolated, 5, 1);
+    }
+
+    #[test]
+    fn zero_length_walk_from_isolated_node_is_fine() {
+        let g = lmt_graph::GraphBuilder::new(2).build();
+        assert_eq!(walk_endpoint(&g, 1, 0, 3), 1);
     }
 }

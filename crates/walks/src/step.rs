@@ -1,8 +1,14 @@
 //! One step of the walk operator: `p ↦ A p`, where `A` is the transpose of
 //! the transition matrix (§2.1).
+//!
+//! Everything here is generic over [`WalkGraph`], so the same operator
+//! drives unweighted [`lmt_graph::Graph`]s (transition `1/d(u)`, the
+//! paper's setting — arithmetic unchanged bit-for-bit from the pre-trait
+//! code) and [`lmt_graph::WeightedGraph`]s (transition `w(u,v)/W(u)`,
+//! stationary `∝ W`).
 
 use crate::Dist;
-use lmt_graph::Graph;
+use lmt_graph::WalkGraph;
 use rayon::prelude::*;
 
 /// Which walk the distribution evolves under.
@@ -21,25 +27,51 @@ pub enum WalkKind {
 /// runs the whole step inline when `n` is under twice this.
 const PAR_MIN_CHUNK: usize = 2048;
 
+/// Panic unless every node carrying mass can actually walk (positive walk
+/// degree). Mass on an isolated node would silently *vanish* under the
+/// simple operator (and bleed under the lazy one) — `gen::erdos_renyi` can
+/// emit such nodes, so the walk entry points check up front instead of
+/// failing (or drifting) deep in an iteration.
+pub(crate) fn assert_walkable<G: WalkGraph + ?Sized>(g: &G, p: &[f64], what: &str) {
+    for (v, &pv) in p.iter().enumerate() {
+        if pv != 0.0 && g.walk_degree(v) <= 0.0 {
+            panic!("{what}: distribution places mass {pv} on isolated node {v} (degree 0)");
+        }
+    }
+}
+
+/// Panic unless `src` is in range and non-isolated — the shared boundary
+/// guard of every point-mass walk entry point (`mixing_time`, `l1_trace`,
+/// the local-mixing oracle, the samplers).
+pub(crate) fn assert_source<G: WalkGraph + ?Sized>(g: &G, src: usize, what: &str) {
+    assert!(src < g.n(), "{what}: source {src} out of range");
+    assert!(
+        g.walk_degree(src) > 0.0,
+        "{what}: source {src} is an isolated node (degree 0)"
+    );
+}
+
 /// Compute `p_{t+1}` from `p_t`:
-/// `p'(v) = Σ_{u ∈ N(v)} p(u)/d(u)` (simple), with the lazy 1/2-mixture for
-/// [`WalkKind::Lazy`].
+/// `p'(v) = Σ_{u ∈ N(v)} p(u)·w(u,v)/W(u)` (+ the self-loop term, if any)
+/// for the simple walk — `w ≡ 1`, `W = d` on unweighted graphs — with the
+/// lazy 1/2-mixture for [`WalkKind::Lazy`].
 ///
 /// Pull-based (each output node gathers from its neighbors), so the parallel
 /// and sequential paths produce bit-identical results: each `p'(v)` sums in
 /// neighbor-sorted order regardless of scheduling.
-pub fn step(g: &Graph, p: &Dist, kind: WalkKind) -> Dist {
+///
+/// # Panics
+/// Debug builds panic if `p` places mass on an isolated node (that mass
+/// would silently vanish); the one-shot entry points (`evolve`,
+/// [`Trajectory::new`], the mixing-time functions) check this in release
+/// builds too.
+pub fn step<G: WalkGraph + ?Sized>(g: &G, p: &Dist, kind: WalkKind) -> Dist {
     assert_eq!(p.n(), g.n(), "step: distribution/graph size mismatch");
     let ps = p.as_slice();
+    #[cfg(debug_assertions)]
+    assert_walkable(g, ps, "step");
     let pull = |v: usize| -> f64 {
-        let inflow: f64 = g
-            .neighbors(v)
-            .map(|u| {
-                let d = g.degree(u);
-                debug_assert!(d > 0);
-                ps[u] / d as f64
-            })
-            .sum();
+        let inflow = g.pull(v, ps);
         match kind {
             WalkKind::Simple => inflow,
             WalkKind::Lazy => 0.5 * ps[v] + 0.5 * inflow,
@@ -54,7 +86,11 @@ pub fn step(g: &Graph, p: &Dist, kind: WalkKind) -> Dist {
 }
 
 /// Run `t` steps from `p0`.
-pub fn evolve(g: &Graph, p0: &Dist, kind: WalkKind, t: usize) -> Dist {
+///
+/// # Panics
+/// Panics if `p0` places mass on an isolated node (see [`step`]).
+pub fn evolve<G: WalkGraph + ?Sized>(g: &G, p0: &Dist, kind: WalkKind, t: usize) -> Dist {
+    assert_walkable(g, p0.as_slice(), "evolve");
     let mut p = p0.clone();
     for _ in 0..t {
         p = step(g, &p, kind);
@@ -63,16 +99,21 @@ pub fn evolve(g: &Graph, p0: &Dist, kind: WalkKind, t: usize) -> Dist {
 }
 
 /// Iterator over `p_0, p_1, p_2, …` (inclusive of the start).
-pub struct Trajectory<'g> {
-    g: &'g Graph,
+pub struct Trajectory<'g, G: WalkGraph + ?Sized = lmt_graph::Graph> {
+    g: &'g G,
     kind: WalkKind,
     next: Option<Dist>,
 }
 
-impl<'g> Trajectory<'g> {
+impl<'g, G: WalkGraph + ?Sized> Trajectory<'g, G> {
     /// Start a trajectory at `p0`.
-    pub fn new(g: &'g Graph, p0: Dist, kind: WalkKind) -> Self {
+    ///
+    /// # Panics
+    /// Panics on a size mismatch or if `p0` places mass on an isolated
+    /// node (see [`step`]).
+    pub fn new(g: &'g G, p0: Dist, kind: WalkKind) -> Self {
         assert_eq!(p0.n(), g.n(), "trajectory: size mismatch");
+        assert_walkable(g, p0.as_slice(), "trajectory");
         Trajectory {
             g,
             kind,
@@ -81,7 +122,7 @@ impl<'g> Trajectory<'g> {
     }
 }
 
-impl Iterator for Trajectory<'_> {
+impl<G: WalkGraph + ?Sized> Iterator for Trajectory<'_, G> {
     type Item = Dist;
 
     fn next(&mut self) -> Option<Dist> {
@@ -158,5 +199,86 @@ mod tests {
         assert!(pi.l1_distance(&stepped) < 1e-12);
         let lazy_stepped = step(&g, &pi, WalkKind::Lazy);
         assert!(pi.l1_distance(&lazy_stepped) < 1e-12);
+    }
+
+    #[test]
+    fn weighted_stationary_is_fixed_point() {
+        // π(v) = W(v)/ΣW is invariant under the weighted simple walk.
+        let g = gen::weighted::random_weights(gen::grid(3, 4), 0.5, 4.0, 7);
+        use lmt_graph::WalkGraph;
+        let total = g.total_walk_weight();
+        let pi = Dist::from_vec(
+            (0..WalkGraph::n(&g)).map(|v| g.weighted_degree(v) / total).collect(),
+        );
+        let stepped = step(&g, &pi, WalkKind::Simple);
+        assert!(pi.l1_distance(&stepped) < 1e-12);
+    }
+
+    #[test]
+    fn unit_weights_step_bit_identical_to_unweighted() {
+        let (g, _) = gen::barbell(3, 5);
+        let wg = lmt_graph::WeightedGraph::unit(g.clone());
+        let mut p = Dist::point(g.n(), 2);
+        let mut wp = p.clone();
+        for _ in 0..40 {
+            p = step(&g, &p, WalkKind::Simple);
+            wp = step(&wg, &wp, WalkKind::Simple);
+            assert_eq!(p, wp); // bit equality, not approximate
+        }
+    }
+
+    #[test]
+    fn heavy_edge_attracts_mass() {
+        // Triangle with one heavy edge: after one step from node 0, the
+        // heavy neighbor holds proportionally more mass.
+        let mut b = lmt_graph::WeightedGraphBuilder::new(3);
+        b.add_edge(0, 1, 9.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(1, 2, 1.0);
+        let g = b.build();
+        let p1 = step(&g, &Dist::point(3, 0), WalkKind::Simple);
+        assert!((p1.get(1) - 0.9).abs() < 1e-15);
+        assert!((p1.get(2) - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn self_loop_weight_reproduces_lazy_walk() {
+        // The standard reduction: a loop equal to the neighbor-weight sum
+        // turns the simple weighted walk into the lazy walk of the base
+        // graph (footnote 5's fix as a weight, not a special case).
+        let base = gen::hypercube(3);
+        let lazy_as_loops = gen::weighted::lazy_loops(&lmt_graph::WeightedGraph::unit(base.clone()));
+        let mut p_lazy = Dist::point(8, 0);
+        let mut p_loop = p_lazy.clone();
+        for _ in 0..25 {
+            p_lazy = step(&base, &p_lazy, WalkKind::Lazy);
+            p_loop = step(&lazy_as_loops, &p_loop, WalkKind::Simple);
+            assert!(p_lazy.l1_distance(&p_loop) < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn mass_on_isolated_node_rejected() {
+        // Node 2 is isolated; a distribution touching it is refused up
+        // front in debug builds. Release builds skip the per-step scan (the
+        // one-shot entry points still check): there the mass observably
+        // vanishes, and the test panics with a matching message itself.
+        let mut b = lmt_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let p = Dist::point(3, 2);
+        let stepped = step(&g, &p, WalkKind::Simple);
+        assert_eq!(stepped.mass(), 0.0);
+        panic!("isolated node mass vanished (release-mode observation)");
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated node")]
+    fn evolve_rejects_isolated_mass_in_release_too() {
+        let mut b = lmt_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g = b.build();
+        let _ = evolve(&g, &Dist::point(3, 2), WalkKind::Simple, 5);
     }
 }

@@ -27,7 +27,9 @@ pub mod prelude {
     };
     pub use lmt_gossip::coverage::{coverage_stats, is_beta_spread, rounds_to_beta_spread};
     pub use lmt_gossip::{Gossip, GossipMode};
-    pub use lmt_graph::{cuts, gen, props, Graph, GraphBuilder};
+    pub use lmt_graph::{
+        cuts, gen, props, Graph, GraphBuilder, WalkGraph, WeightedGraph, WeightedGraphBuilder,
+    };
     pub use lmt_walks::local::{
         local_mixing_time, restricted_trace, FlatPolicy, LocalMixOptions, SizeGrid,
     };

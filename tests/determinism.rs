@@ -171,6 +171,36 @@ proptest! {
             );
         }
     }
+
+    /// The weighted walk step (ISSUE 4): the rayon-parallel pull over a
+    /// `WeightedGraph` — `p(u)·w(u,v)/W(u)` per inflow term — must be
+    /// bit-identical at every pool width. Width 1 takes the shim's inline
+    /// path, so cross-width equality is the parallel ≡ sequential
+    /// assertion; weights are randomized so the float sums are
+    /// order-sensitive if chunking ever leaked into summation order.
+    #[test]
+    fn weighted_step_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let wg = gen::weighted::random_weights(g, 0.25, 4.0, seed ^ 0x7E1);
+        let results = at_widths(|| {
+            let p = lmt_walks::step::evolve(
+                &wg,
+                &Dist::point(n, 0),
+                WalkKind::Lazy,
+                20,
+            );
+            format!("{p:?}")
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "weighted step drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
 }
 
 /// Adversarial workout for the arena router (ISSUE 3): every node rotates
