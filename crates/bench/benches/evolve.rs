@@ -1,0 +1,58 @@
+//! Micro-benches of the walk evolution engine (ISSUE 5): the
+//! frontier-sparse single-source oracle and the blocked graph-wide sweep
+//! against the pre-engine dense reference
+//! ([`lmt_bench::dense_reference`]), on the paper's β-barbell calibration
+//! family — the workload the dense path is worst at (support stays inside
+//! the source clique for the whole `τ_s = O(1)` horizon, yet the dense
+//! step reads all `2m` half-edges every step).
+//!
+//! Recorded in EXPERIMENTS.md ("evolve" row-set, before/after table). The
+//! acceptance ratio is `oracle/dense_reference` vs `oracle/engine` at
+//! n = 2¹² — the engine must be ≥ 2× faster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lmt_bench::dense_reference;
+use lmt_graph::gen;
+use lmt_walks::local::{local_mixing_time, LocalMixOptions};
+use lmt_walks::mixing::graph_mixing_time;
+use lmt_walks::WalkKind;
+
+const EPS: f64 = 1.0 / (8.0 * std::f64::consts::E);
+
+fn bench_oracle(c: &mut Criterion) {
+    // β = 8 cliques of k = 512 → n = 4096 = 2¹², the acceptance scale.
+    let mut group = c.benchmark_group("evolve_oracle_barbell_n4096");
+    group.sample_size(10);
+    let (g, _) = gen::ring_of_cliques_regular(8, 512);
+    let o = LocalMixOptions::new(8.0);
+    group.bench_function("dense_reference", |b| {
+        b.iter(|| dense_reference::local_mixing_time(&g, 3, &o))
+    });
+    group.bench_function("engine", |b| {
+        b.iter(|| local_mixing_time(&g, 3, &o).expect("local mixing").tau)
+    });
+    // The WalkGraph seam hands the speedup to weighted graphs for free.
+    let wg = gen::weighted::uniform_weights(g.clone(), 2.0);
+    group.bench_function("engine_weighted", |b| {
+        b.iter(|| local_mixing_time(&wg, 3, &o).expect("local mixing").tau)
+    });
+    group.finish();
+}
+
+fn bench_graph_sweep(c: &mut Criterion) {
+    // Full τ_mix sweep over every source: the blocked engine reads the
+    // graph once per step for 8 columns instead of once per source.
+    let mut group = c.benchmark_group("evolve_graph_mixing_n64");
+    group.sample_size(10);
+    let (g, _) = gen::ring_of_cliques_regular(4, 16);
+    group.bench_function("dense_reference", |b| {
+        b.iter(|| dense_reference::graph_mixing_time(&g, EPS, WalkKind::Lazy, 1_000_000))
+    });
+    group.bench_function("engine_blocked", |b| {
+        b.iter(|| graph_mixing_time(&g, EPS, WalkKind::Lazy, 1_000_000).expect("mixing"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracle, bench_graph_sweep);
+criterion_main!(benches);

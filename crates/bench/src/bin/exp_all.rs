@@ -23,6 +23,7 @@ fn main() {
         "exp_t11_assumption",
         "exp_t12_source_sensitivity",
         "exp_t13_upcast_ablation",
+        "exp_e1_engine_ab",
     ];
     // Invoke sibling binaries from the same target directory.
     let me = std::env::current_exe().expect("own path");

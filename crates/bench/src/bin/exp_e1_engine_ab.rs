@@ -1,0 +1,95 @@
+//! E1 — dense reference vs the walk evolution engine, reproducible
+//! outside criterion.
+//!
+//! A/B of the exact-τ plane's two sweeps on the β-barbell family (the
+//! paper's §2.3 calibration workload, where `τ_s = O(1)` keeps the walk's
+//! support inside the source clique — the dense path's worst case):
+//!
+//! * single-source oracle `τ_s(β,ε)` at n = 2¹² (the ISSUE 5 acceptance
+//!   workload: engine must be ≥ 2×), unweighted and weighted;
+//! * the full `graph_mixing_time` sweep (blocked SpMM + shared
+//!   `stationary`) at n = 64.
+//!
+//! Both paths produce bit-identical results (asserted here per rep);
+//! medians of 5 wall-clock reps.
+
+use lmt_bench::dense_reference;
+use lmt_graph::gen;
+use lmt_util::table::Table;
+use lmt_walks::local::{local_mixing_time, LocalMixOptions};
+use lmt_walks::mixing::graph_mixing_time;
+use lmt_walks::WalkKind;
+
+const EPS: f64 = 1.0 / (8.0 * std::f64::consts::E);
+const REPS: usize = 5;
+
+/// Median wall-clock of `REPS` runs, in milliseconds.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[REPS / 2]
+}
+
+fn row(t: &mut Table, name: &str, dense_ms: f64, engine_ms: f64) {
+    t.row(&[
+        name.to_string(),
+        format!("{dense_ms:.2}"),
+        format!("{engine_ms:.2}"),
+        format!("{:.2}x", dense_ms / engine_ms),
+    ]);
+}
+
+fn main() {
+    let mut t = Table::new(
+        format!("E1: dense reference vs evolution engine (medians of {REPS}, ms)"),
+        &["workload", "dense", "engine", "speedup"],
+    );
+
+    // Single-source oracle at the acceptance scale n = 2¹².
+    let (g, _) = gen::ring_of_cliques_regular(8, 512);
+    let o = LocalMixOptions::new(8.0);
+    let tau_dense = dense_reference::local_mixing_time(&g, 3, &o);
+    let tau_engine = local_mixing_time(&g, 3, &o).expect("local mixing").tau;
+    assert_eq!(tau_dense, tau_engine, "oracle A/B must agree exactly");
+    let d = median_ms(|| {
+        dense_reference::local_mixing_time(&g, 3, &o);
+    });
+    let e = median_ms(|| {
+        local_mixing_time(&g, 3, &o).expect("local mixing");
+    });
+    row(&mut t, "oracle τ_s, clique-ring(8,512) n=4096", d, e);
+
+    // Same oracle on the weighted twin: the WalkGraph seam hands the
+    // engine to WeightedGraph for free.
+    let wg = gen::weighted::uniform_weights(g.clone(), 2.0);
+    let dw = median_ms(|| {
+        dense_reference::local_mixing_time(&wg, 3, &o);
+    });
+    let ew = median_ms(|| {
+        local_mixing_time(&wg, 3, &o).expect("local mixing");
+    });
+    row(&mut t, "oracle τ_s, weighted twin n=4096", dw, ew);
+
+    // Full graph_mixing_time sweep: blocked SpMM + shared stationary.
+    let (small, _) = gen::ring_of_cliques_regular(4, 16);
+    let gm_dense = dense_reference::graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000);
+    let gm_engine = graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000).expect("mixing");
+    assert_eq!(gm_dense, gm_engine, "sweep A/B must agree exactly");
+    let ds = median_ms(|| {
+        dense_reference::graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000);
+    });
+    let es = median_ms(|| {
+        graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000).expect("mixing");
+    });
+    row(&mut t, "graph τ_mix sweep, clique-ring(4,16) n=64", ds, es);
+
+    print!("{}", t.render());
+    println!("τ_s = {tau_engine}, τ_mix = {gm_engine}; both paths bit-identical (asserted).");
+    println!("ε = {EPS:.4}");
+}

@@ -79,6 +79,73 @@ pub fn fmt_opt(x: Option<u64>) -> String {
     x.map_or("∞".into(), |v| v.to_string())
 }
 
+/// Pre-engine implementations of the exact-τ sweeps, preserved for A/B
+/// measurement against `lmt_walks::engine` (the `evolve` criterion group
+/// and `exp_e1_engine_ab`): dense full-graph power iteration, one source
+/// at a time, fresh sort/prefix buffers every step, `stationary` recomputed
+/// per source. Same results bit-for-bit — only the cost differs.
+pub mod dense_reference {
+    use lmt_graph::WalkGraph;
+    use lmt_walks::local::{check_dist, size_grid, LocalMixOptions};
+    use lmt_walks::stationary::stationary;
+    use lmt_walks::step::step;
+    use lmt_walks::{Dist, WalkKind};
+
+    /// `τ_s(β,ε)` by dense iteration (the historical oracle loop).
+    ///
+    /// # Panics
+    /// Panics if no witness appears within `opts.max_t` steps.
+    pub fn local_mixing_time<G: WalkGraph + ?Sized>(
+        g: &G,
+        src: usize,
+        opts: &LocalMixOptions,
+    ) -> usize {
+        let sizes = size_grid(g.n(), opts);
+        let src_opt = opts.require_source.then_some(src);
+        let mut p = Dist::point(g.n(), src);
+        for t in 0..=opts.max_t {
+            if check_dist(&p, &sizes, opts.eps, src_opt).is_some() {
+                return t;
+            }
+            if t < opts.max_t {
+                p = step(g, &p, opts.kind);
+            }
+        }
+        panic!("dense reference: no witness within {} steps", opts.max_t);
+    }
+
+    /// `τ_mix(ε) = max_v τ_mix_v(ε)` by dense per-source iteration with
+    /// `stationary(g)` recomputed on every source's turn (the historical
+    /// sweep).
+    ///
+    /// # Panics
+    /// Panics if any source fails to mix within `max_t` steps.
+    pub fn graph_mixing_time<G: WalkGraph + ?Sized>(
+        g: &G,
+        eps: f64,
+        kind: WalkKind,
+        max_t: usize,
+    ) -> usize {
+        let mut worst = 0;
+        for s in 0..g.n() {
+            let pi = stationary(g);
+            let mut p = Dist::point(g.n(), s);
+            let mut tau = None;
+            for t in 0..=max_t {
+                if p.l1_distance(&pi) < eps {
+                    tau = Some(t);
+                    break;
+                }
+                if t < max_t {
+                    p = step(g, &p, kind);
+                }
+            }
+            worst = worst.max(tau.expect("dense reference: source did not mix"));
+        }
+        worst
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,6 +66,27 @@ pub trait WalkGraph: Sync {
     /// keeps its own arithmetic (see the module docs for why).
     fn pull(&self, v: usize, p: &[f64]) -> f64;
 
+    /// Blocked variant of [`WalkGraph::pull`]: gather the inflow at `v` for
+    /// `width` distributions at once from the **node-major interleaved**
+    /// matrix `p` (`p[u * width + j]` is column `j`'s mass at `u`), writing
+    /// column `j`'s inflow to `out[j]`.
+    ///
+    /// This is the SpMM kernel of `lmt-walks`' multi-source evolution
+    /// engine: one CSR row traversal feeds every column, instead of one
+    /// graph sweep per column.
+    ///
+    /// **Contract (bit-for-bit lane independence):** for every column `j`,
+    /// `out[j]` must be produced by *exactly* the floating-point operations
+    /// [`WalkGraph::pull`] performs on the single distribution
+    /// `u ↦ p[u * width + j]`, in the same order — each lane of a blocked
+    /// sweep is indistinguishable from a solo sweep. Both workspace
+    /// implementations accumulate per-lane sums in neighbor-ascending order
+    /// with the loop term last, mirroring their `pull`.
+    ///
+    /// Implementations may assume `out.len() == width` and
+    /// `p.len() == n * width`.
+    fn pull_block(&self, v: usize, p: &[f64], width: usize, out: &mut [f64]);
+
     /// `Some(π-value)` if the stationary distribution is exactly flat
     /// (`1/n` everywhere — topologically regular for unweighted graphs,
     /// equal walk degrees for weighted ones), else `None`. The §3
@@ -117,6 +138,23 @@ impl WalkGraph for Graph {
                 p[u] / d as f64
             })
             .sum()
+    }
+
+    #[inline]
+    fn pull_block(&self, v: usize, p: &[f64], width: usize, out: &mut [f64]) {
+        // Lane-for-lane the `pull` kernel above: each lane's sum starts at
+        // 0.0 and adds `p_j(u) / d(u)` in neighbor-ascending order.
+        out.fill(0.0);
+        for &u in self.neighbors_raw(v) {
+            let u = u as usize;
+            let d = self.degree(u);
+            debug_assert!(d > 0);
+            let d = d as f64;
+            let row = &p[u * width..u * width + width];
+            for (o, &pu) in out.iter_mut().zip(row) {
+                *o += pu / d;
+            }
+        }
     }
 
     #[inline]
@@ -178,6 +216,35 @@ mod tests {
         let via_trait = g.sample_step(2, &mut a);
         let manual = g.neighbor(2, b.gen_range(0..g.degree(2)));
         assert_eq!(via_trait, manual);
+    }
+
+    #[test]
+    fn pull_block_lanes_bit_identical_to_pull() {
+        // Three interleaved columns; every lane of the blocked kernel must
+        // reproduce the solo kernel to the last bit.
+        let g = gen::lollipop(5, 3);
+        let n = g.n();
+        let width = 3;
+        let cols: Vec<Vec<f64>> = (0..width)
+            .map(|j| (0..n).map(|v| ((v * 7 + j * 3 + 1) as f64).recip()).collect())
+            .collect();
+        let mut interleaved = vec![0.0; n * width];
+        for (j, col) in cols.iter().enumerate() {
+            for v in 0..n {
+                interleaved[v * width + j] = col[v];
+            }
+        }
+        let mut out = vec![f64::NAN; width];
+        for v in 0..n {
+            g.pull_block(v, &interleaved, width, &mut out);
+            for (j, col) in cols.iter().enumerate() {
+                assert_eq!(
+                    out[j].to_bits(),
+                    g.pull(v, col).to_bits(),
+                    "lane {j} at node {v}"
+                );
+            }
+        }
     }
 
     #[test]

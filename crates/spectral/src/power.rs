@@ -24,11 +24,22 @@ pub struct SpectralEstimate {
     pub iterations: usize,
 }
 
+/// Minimum nodes per worker chunk for the symmetrized sweep — same
+/// economics as the walk engine's dense path (a few flops per neighbor).
+const SYM_MIN_CHUNK: usize = 2048;
+
 /// Apply the symmetrized walk operator `N = D^{1/2} P D^{-1/2}` to `x`.
 ///
 /// `N[v][u] = 1/√(d(u)d(v))` for edges; lazy mixes with identity.
+///
+/// Runs through the walk engine's parallel dense sweep
+/// ([`lmt_walks::engine::dense_sweep_into`]): each `out[v]` is a pure
+/// gather over `v`'s CSR row, so the parallel result is bit-identical to
+/// the historical sequential loop. (The engine's *frontier-sparse* path
+/// does not apply here — power iteration starts from a dense random
+/// vector, and deflated iterates carry signed entries.)
 fn apply_sym(g: &Graph, x: &[f64], kind: WalkKind, out: &mut [f64]) {
-    for v in 0..g.n() {
+    lmt_walks::engine::dense_sweep_into(out, SYM_MIN_CHUNK, |v| {
         let dv = g.degree(v);
         let mut acc = 0.0;
         if dv > 0 {
@@ -37,11 +48,11 @@ fn apply_sym(g: &Graph, x: &[f64], kind: WalkKind, out: &mut [f64]) {
                 acc += x[u] / ((du as f64) * (dv as f64)).sqrt();
             }
         }
-        out[v] = match kind {
+        match kind {
             WalkKind::Simple => acc,
             WalkKind::Lazy => 0.5 * x[v] + 0.5 * acc,
-        };
-    }
+        }
+    });
 }
 
 /// Estimate `λ₂` (in magnitude) of the transition matrix.

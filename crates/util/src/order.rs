@@ -53,6 +53,35 @@ impl SortedPrefix {
         SortedPrefix { vals, pre }
     }
 
+    /// An empty prefix structure, ready for [`SortedPrefix::refill_sorted`]
+    /// — the allocation-reuse entry point for per-step callers (the
+    /// local-mixing oracle rebuilds the prefix every walk step).
+    pub fn empty() -> Self {
+        SortedPrefix::new(Vec::new())
+    }
+
+    /// Refill from values that are **already sorted ascending**, reusing
+    /// the existing allocations. Produces exactly the state
+    /// [`SortedPrefix::new`] would (`new` sorts, then accumulates the same
+    /// prefix sums left to right), minus the sort and the allocations.
+    ///
+    /// Debug builds verify sortedness; release builds trust the caller.
+    pub fn refill_sorted<I: IntoIterator<Item = f64>>(&mut self, vals: I) {
+        self.vals.clear();
+        self.pre.clear();
+        self.pre.push(0.0);
+        let mut acc = 0.0;
+        for v in vals {
+            debug_assert!(
+                self.vals.last().is_none_or(|&prev| prev <= v),
+                "refill_sorted: values not ascending"
+            );
+            self.vals.push(v);
+            acc += v;
+            self.pre.push(acc);
+        }
+    }
+
     /// Number of values.
     pub fn len(&self) -> usize {
         self.vals.len()
@@ -81,14 +110,27 @@ impl SortedPrefix {
     }
 
     /// Minimum of [`Self::window_abs_dev`] over all windows of width `r`,
-    /// returning `(best_lo, best_value)`.
+    /// returning `(best_lo, best_value)` — the earliest minimizer, exactly
+    /// as a window-by-window scan finds it.
+    ///
+    /// The crossing point of `c` inside the window `[lo, lo+r)` is the
+    /// global crossing point clamped into the window, so it is computed
+    /// once per call instead of re-binary-searched per window; each
+    /// window's value is then the same two prefix-sum expressions
+    /// [`Self::window_abs_dev`] evaluates — bit-identical results, `O(1)`
+    /// per window.
     pub fn best_window(&self, r: usize, c: f64) -> Option<(usize, f64)> {
         if r == 0 || r > self.vals.len() {
             return None;
         }
+        let lb = self.vals.partition_point(|&v| v < c);
         let mut best = (0usize, f64::INFINITY);
         for lo in 0..=(self.vals.len() - r) {
-            let v = self.window_abs_dev(lo, lo + r, c);
+            let hi = lo + r;
+            let split = lb.clamp(lo, hi);
+            let below = (split - lo) as f64 * c - (self.pre[split] - self.pre[lo]);
+            let above = (self.pre[hi] - self.pre[split]) - (hi - split) as f64 * c;
+            let v = below + above;
             if v < best.1 {
                 best = (lo, v);
             }
@@ -130,6 +172,27 @@ mod tests {
     }
 
     #[test]
+    fn best_window_matches_per_window_scan() {
+        // The hoisted-split fast path must agree with a literal
+        // window_abs_dev scan — same earliest lo, same value bits.
+        let sp = SortedPrefix::new(vec![0.0, 0.0, 0.1, 0.1, 0.1, 0.25, 0.3, 0.9]);
+        for r in 1..=8 {
+            for &c in &[0.0, 0.05, 0.1, 0.2, 0.5, 1.0] {
+                let got = sp.best_window(r, c).unwrap();
+                let mut want = (0usize, f64::INFINITY);
+                for lo in 0..=(sp.len() - r) {
+                    let v = sp.window_abs_dev(lo, lo + r, c);
+                    if v < want.1 {
+                        want = (lo, v);
+                    }
+                }
+                assert_eq!(got.0, want.0, "r={r} c={c}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "r={r} c={c}");
+            }
+        }
+    }
+
+    #[test]
     fn best_window_finds_minimum() {
         let sp = SortedPrefix::new(vec![0.0, 0.0, 0.24, 0.26, 0.25, 0.25]);
         // Width-4 window closest to c = 0.25 is the last four values.
@@ -145,5 +208,36 @@ mod tests {
         let sp = SortedPrefix::new(vec![]);
         assert!(sp.is_empty());
         assert_eq!(sp.len(), 0);
+    }
+
+    #[test]
+    fn refill_sorted_matches_new_bitwise() {
+        let rounds = [
+            vec![0.1, 0.2, 0.2, 0.7],
+            vec![0.0, 0.0, 0.5],
+            vec![],
+            vec![1.0 / 3.0, 2.0 / 3.0, 0.9, 1.1, 1.3],
+        ];
+        let mut sp = SortedPrefix::empty();
+        for vals in rounds {
+            sp.refill_sorted(vals.iter().copied());
+            let fresh = SortedPrefix::new(vals.clone());
+            assert_eq!(sp.values(), fresh.values());
+            assert_eq!(sp.len(), fresh.len());
+            for r in 0..=vals.len() {
+                for &c in &[0.0, 0.3, 0.8] {
+                    let a = sp.best_window(r, c);
+                    let b = fresh.best_window(r, c);
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some((la, va)), Some((lb, vb))) => {
+                            assert_eq!(la, lb);
+                            assert_eq!(va.to_bits(), vb.to_bits(), "r={r} c={c}");
+                        }
+                        other => panic!("mismatch: {other:?}"),
+                    }
+                }
+            }
+        }
     }
 }

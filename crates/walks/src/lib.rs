@@ -26,6 +26,10 @@
 //! * [`dist`] — dense distribution vectors, L1/L∞ distances, restrictions.
 //! * [`step`] — one walk step (simple or lazy, unweighted or weighted),
 //!   rayon-parallel for large `n`.
+//! * [`engine`] — the evolution engine the sweeps run on: frontier-sparse
+//!   stepping (cost `O(vol(support))`, bit-identical to dense) and
+//!   multi-source blocking (one shared CSR sweep for `B` columns). The
+//!   `mixing`/`local` entry points are thin wrappers over it.
 //! * [`stationary`] — `π ∝ W` and restricted `π_S` (§2.2).
 //! * [`mixing`] — `τ_mix_s(ε)` (Definition 1), using Lemma 1 monotonicity,
 //!   with hard caps.
@@ -49,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod dist;
+pub mod engine;
 pub mod fixed_flood;
 pub mod local;
 pub mod mixing;

@@ -19,7 +19,19 @@
 //! * an exponential-time brute force ([`brute_force_local_mixing_time`]) for
 //!   arbitrary (even non-regular) tiny graphs, used to validate the window
 //!   oracle in tests.
+//!
+//! The oracle's power iteration runs on the frontier-sparse evolution
+//! engine ([`crate::engine`]) — on the paper's clique-chain calibration
+//! families the support stays near the source for the whole `τ_s = O(1)`
+//! horizon, so each step costs `O(vol(support))`, not `O(2m)` — and
+//! [`graph_local_mixing_time`] advances its sources in blocks through one
+//! shared CSR sweep per step. Per-step sort/prefix buffers are reused
+//! across steps and sources (consecutive steps are nearly value-sorted,
+//! which the adaptive sort exploits). All results are bit-for-bit identical
+//! to the historical dense per-source iteration.
 
+use crate::engine::{BlockEvolution, Evolution};
+use crate::mixing::SWEEP_BLOCK;
 use crate::step::{step, WalkKind};
 use crate::Dist;
 use lmt_graph::WalkGraph;
@@ -162,86 +174,138 @@ pub fn size_grid(n: usize, opts: &LocalMixOptions) -> Vec<usize> {
     }
 }
 
+/// Reusable buffers for the per-step witness check: the id permutation,
+/// the prefix-sum structure, and the `s ∈ S` side buffers. These used to be
+/// allocated and sorted from scratch on every walk step; the scratch keeps
+/// the permutation **value-sorted from the previous step**, so each re-sort
+/// hands the adaptive stable sort nearly-sorted input, and `SortedPrefix`
+/// is refilled in place.
+struct CheckScratch {
+    /// Node ids, value-sorted as of the last check.
+    ids: Vec<u32>,
+    sp: SortedPrefix,
+    rest_ids: Vec<u32>,
+    rest_sp: SortedPrefix,
+}
+
+impl CheckScratch {
+    fn new(n: usize) -> Self {
+        CheckScratch {
+            ids: (0..n as u32).collect(),
+            sp: SortedPrefix::empty(),
+            rest_ids: Vec::with_capacity(n),
+            rest_sp: SortedPrefix::empty(),
+        }
+    }
+
+    /// Sort `ids` by `(value, id)` and refill the prefix sums.
+    ///
+    /// The explicit id tiebreak makes the order a pure function of `p` —
+    /// identical to the historical fresh stable sort (which started from
+    /// ascending ids, so ties landed in id order) no matter what
+    /// permutation the previous step left behind.
+    fn resort(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.ids.len(), "scratch/distribution size");
+        let ids = &mut self.ids;
+        ids.sort_by(|&a, &b| {
+            p[a as usize]
+                .partial_cmp(&p[b as usize])
+                .expect("NaN probability")
+                .then(a.cmp(&b))
+        });
+        self.sp.refill_sorted(ids.iter().map(|&i| p[i as usize]));
+    }
+
+    /// The existence check behind [`check_dist`], on borrowed buffers.
+    fn check(&mut self, p: &[f64], sizes: &[usize], eps: f64, src: Option<usize>) -> Option<Witness> {
+        self.resort(p);
+        match src {
+            None => {
+                for &r in sizes {
+                    let c = 1.0 / r as f64;
+                    if let Some((lo, sum)) = self.sp.best_window(r, c) {
+                        if sum < eps {
+                            let nodes =
+                                self.ids[lo..lo + r].iter().map(|&i| i as usize).collect();
+                            return Some(Witness {
+                                size: r,
+                                l1: sum,
+                                nodes,
+                            });
+                        }
+                    }
+                }
+                None
+            }
+            Some(s) => {
+                // Optimal set containing s = {s} ∪ best (R−1)-window of the
+                // rest.
+                self.rest_ids.clear();
+                self.rest_ids
+                    .extend(self.ids.iter().copied().filter(|&i| i as usize != s));
+                self.rest_sp
+                    .refill_sorted(self.rest_ids.iter().map(|&i| p[i as usize]));
+                let ps = p[s];
+                for &r in sizes {
+                    let c = 1.0 / r as f64;
+                    let own = (ps - c).abs();
+                    let (lo, sum) = if r == 1 {
+                        (0, 0.0)
+                    } else {
+                        match self.rest_sp.best_window(r - 1, c) {
+                            Some(w) => w,
+                            None => continue,
+                        }
+                    };
+                    let total = own + sum;
+                    if total < eps {
+                        let mut nodes: Vec<usize> = self.rest_ids[lo..lo + (r - 1)]
+                            .iter()
+                            .map(|&i| i as usize)
+                            .collect();
+                        nodes.push(s);
+                        return Some(Witness {
+                            size: r,
+                            l1: total,
+                            nodes,
+                        });
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Best restricted distance over the grid, irrespective of `eps` (the
+    /// [`local_profile`] kernel).
+    fn best_over_sizes(&mut self, p: &[f64], sizes: &[usize]) -> f64 {
+        self.resort(p);
+        sizes
+            .iter()
+            .filter_map(|&r| self.sp.best_window(r, 1.0 / r as f64).map(|w| w.1))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
 /// Existence check for one distribution: is there a set of an allowed size
 /// whose restricted distance to flat is `< eps`? Returns the first witness
 /// (smallest grid size) if so.
 ///
 /// `src` is `Some(s)` to enforce `s ∈ S`.
+///
+/// One-shot convenience: allocates its working buffers per call. The
+/// per-step loops in this module share one scratch across all steps (and,
+/// in the graph-wide sweep, across all sources) instead.
 pub fn check_dist(p: &Dist, sizes: &[usize], eps: f64, src: Option<usize>) -> Option<Witness> {
-    let n = p.n();
-    // Sort node ids by probability value once.
-    let mut ids: Vec<u32> = (0..n as u32).collect();
-    ids.sort_by(|&a, &b| {
-        p.get(a as usize)
-            .partial_cmp(&p.get(b as usize))
-            .expect("NaN probability")
-    });
-    let sorted_vals: Vec<f64> = ids.iter().map(|&i| p.get(i as usize)).collect();
-
-    match src {
-        None => {
-            let sp = SortedPrefix::new(sorted_vals);
-            for &r in sizes {
-                let c = 1.0 / r as f64;
-                if let Some((lo, sum)) = sp.best_window(r, c) {
-                    if sum < eps {
-                        let nodes = ids[lo..lo + r].iter().map(|&i| i as usize).collect();
-                        return Some(Witness {
-                            size: r,
-                            l1: sum,
-                            nodes,
-                        });
-                    }
-                }
-            }
-            None
-        }
-        Some(s) => {
-            // Optimal set containing s = {s} ∪ best (R−1)-window of the rest.
-            let pos = ids
-                .iter()
-                .position(|&i| i as usize == s)
-                .expect("source id missing");
-            let mut rest_ids = ids.clone();
-            rest_ids.remove(pos);
-            let rest_vals: Vec<f64> = rest_ids.iter().map(|&i| p.get(i as usize)).collect();
-            let sp = SortedPrefix::new(rest_vals);
-            let ps = p.get(s);
-            for &r in sizes {
-                let c = 1.0 / r as f64;
-                let own = (ps - c).abs();
-                let (lo, sum) = if r == 1 {
-                    (0, 0.0)
-                } else {
-                    match sp.best_window(r - 1, c) {
-                        Some(w) => w,
-                        None => continue,
-                    }
-                };
-                let total = own + sum;
-                if total < eps {
-                    let mut nodes: Vec<usize> = rest_ids[lo..lo + (r - 1)]
-                        .iter()
-                        .map(|&i| i as usize)
-                        .collect();
-                    nodes.push(s);
-                    return Some(Witness {
-                        size: r,
-                        l1: total,
-                        nodes,
-                    });
-                }
-            }
-            None
-        }
-    }
+    CheckScratch::new(p.n()).check(p.as_slice(), sizes, eps, src)
 }
 
 /// Ground-truth local mixing time for a **regular** graph (weight-regular
 /// in the weighted case — see [`FlatPolicy`]).
 ///
-/// Steps the exact `f64` distribution from the point mass at `src` and runs
-/// [`check_dist`] each step until a witness appears.
+/// Steps the exact `f64` distribution from the point mass at `src` on the
+/// frontier-sparse engine ([`crate::engine`]) and runs the witness check
+/// each step until one appears. Bit-for-bit the historical dense result.
 ///
 /// # Panics
 /// Panics on invalid options, an out-of-range source, or an isolated
@@ -258,28 +322,73 @@ pub fn local_mixing_time<G: WalkGraph + ?Sized>(
     }
     let sizes = size_grid(g.n(), opts);
     let src_opt = opts.require_source.then_some(src);
-    let mut p = Dist::point(g.n(), src);
+    let mut ev = Evolution::from_point(g, src, opts.kind);
+    let mut scratch = CheckScratch::new(g.n());
     for t in 0..=opts.max_t {
-        if let Some(w) = check_dist(&p, &sizes, opts.eps, src_opt) {
+        if let Some(w) = scratch.check(ev.current(), &sizes, opts.eps, src_opt) {
             return Ok(LocalMixResult { tau: t, witness: w });
         }
         if t < opts.max_t {
-            p = step(g, &p, opts.kind);
+            ev.step();
         }
     }
     Err(LocalMixError::NotMixedWithin(opts.max_t))
 }
 
 /// The local mixing time of the graph, `τ(β,ε) = max_v τ_v(β,ε)`
-/// (Definition 2), by running every source. `O(n)`-times the single-source
-/// cost, as the paper notes (§1 footnote 6).
+/// (Definition 2), by running every source — the quantity §1 footnote 6
+/// prices at an O(n)-factor overhead.
+///
+/// Sources advance in blocks of [`SWEEP_BLOCK`] columns through one shared
+/// CSR sweep per step ([`BlockEvolution`]); the size grid and the check
+/// scratch are computed once and shared across all sources. Each source's
+/// `τ` is bit-for-bit what a solo [`local_mixing_time`] call returns (its
+/// column is retired the step its witness appears).
 pub fn graph_local_mixing_time<G: WalkGraph + ?Sized>(
     g: &G,
     opts: &LocalMixOptions,
 ) -> Result<usize, LocalMixError> {
+    let n = g.n();
+    if n == 0 {
+        return Ok(0);
+    }
+    opts.validate(n);
+    crate::step::assert_source(g, 0, "local_mixing_time");
+    if opts.flat_policy == FlatPolicy::RequireRegular && g.flat_stationary().is_none() {
+        return Err(LocalMixError::NotRegular);
+    }
+    for s in 1..n {
+        crate::step::assert_source(g, s, "local_mixing_time");
+    }
+    let sizes = size_grid(n, opts);
+    let mut scratch = CheckScratch::new(n);
+    let mut lane = vec![0.0; n];
     let mut worst = 0;
-    for s in 0..g.n() {
-        worst = worst.max(local_mixing_time(g, s, opts)?.tau);
+    let all: Vec<usize> = (0..n).collect();
+    for chunk in all.chunks(SWEEP_BLOCK) {
+        let mut block = BlockEvolution::new(g, chunk, opts.kind);
+        let mut lane_src: Vec<usize> = chunk.to_vec();
+        for t in 0..=opts.max_t {
+            let mut j = 0;
+            while j < block.width() {
+                block.copy_lane(j, &mut lane);
+                let src_opt = opts.require_source.then_some(lane_src[j]);
+                if scratch.check(&lane, &sizes, opts.eps, src_opt).is_some() {
+                    worst = worst.max(t);
+                    block.retire(j);
+                    lane_src.swap_remove(j);
+                } else {
+                    j += 1;
+                }
+            }
+            if block.width() == 0 {
+                break;
+            }
+            if t == opts.max_t {
+                return Err(LocalMixError::NotMixedWithin(opts.max_t));
+            }
+            block.step();
+        }
     }
     Ok(worst)
 }
@@ -298,24 +407,12 @@ pub fn local_profile<G: WalkGraph + ?Sized>(
     crate::step::assert_source(g, src, "local_profile");
     let sizes = size_grid(g.n(), opts);
     let mut out = Vec::with_capacity(t_max + 1);
-    let mut p = Dist::point(g.n(), src);
+    let mut ev = Evolution::from_point(g, src, opts.kind);
+    let mut scratch = CheckScratch::new(g.n());
     for t in 0..=t_max {
-        // Best over sizes irrespective of eps: reuse check with eps = ∞ by
-        // computing min directly.
-        let mut ids: Vec<u32> = (0..g.n() as u32).collect();
-        ids.sort_by(|&a, &b| {
-            p.get(a as usize)
-                .partial_cmp(&p.get(b as usize))
-                .expect("NaN probability")
-        });
-        let sp = SortedPrefix::new(ids.iter().map(|&i| p.get(i as usize)).collect());
-        let best = sizes
-            .iter()
-            .filter_map(|&r| sp.best_window(r, 1.0 / r as f64).map(|w| w.1))
-            .fold(f64::INFINITY, f64::min);
-        out.push(best);
+        out.push(scratch.best_over_sizes(ev.current(), &sizes));
         if t < t_max {
-            p = step(g, &p, opts.kind);
+            ev.step();
         }
     }
     out
@@ -334,12 +431,13 @@ pub fn restricted_trace<G: WalkGraph + ?Sized>(
     crate::step::assert_source(g, src, "restricted_trace");
     let target = 1.0 / set.len() as f64;
     let mut out = Vec::with_capacity(t_max + 1);
-    let mut p = Dist::point(g.n(), src);
+    let mut ev = Evolution::from_point(g, src, kind);
     for t in 0..=t_max {
-        let d: f64 = set.iter().map(|&u| (p.get(u) - target).abs()).sum();
+        let p = ev.current();
+        let d: f64 = set.iter().map(|&u| (p[u] - target).abs()).sum();
         out.push(d);
         if t < t_max {
-            p = step(g, &p, kind);
+            ev.step();
         }
     }
     out
@@ -598,5 +696,61 @@ mod tests {
         b.add_edge(1, 2);
         let g = b.build();
         let _ = local_mixing_time(&g, 3, &opts(2.0));
+    }
+
+    #[test]
+    fn graph_sweep_equals_per_source_sweep() {
+        // n = 24 = 3 full blocks of 8; also run with require_source on so
+        // the blocked sweep exercises the per-lane `s ∈ S` constraint.
+        let (g, _) = gen::ring_of_cliques_regular(3, 8);
+        for require_source in [false, true] {
+            let mut o = opts(3.0);
+            o.require_source = require_source;
+            let blocked = graph_local_mixing_time(&g, &o).unwrap();
+            let mut per_source = 0;
+            for s in 0..g.n() {
+                per_source = per_source.max(local_mixing_time(&g, s, &o).unwrap().tau);
+            }
+            assert_eq!(blocked, per_source, "require_source={require_source}");
+        }
+    }
+
+    #[test]
+    fn graph_sweep_propagates_not_regular() {
+        let g = gen::star(8);
+        let err = graph_local_mixing_time(&g, &opts(2.0)).unwrap_err();
+        assert_eq!(err, LocalMixError::NotRegular);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot_check() {
+        // Drive one scratch through several successive distributions and
+        // compare against the allocating one-shot `check_dist` (which is
+        // the historical per-step behavior): taus, witness sizes, l1s, and
+        // node sets must all agree — including tie-heavy early steps where
+        // most probabilities are exactly 0.0.
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let o = opts(4.0);
+        let sizes = size_grid(g.n(), &o);
+        let mut scratch = CheckScratch::new(g.n());
+        for src in [0usize, 13] {
+            let mut p = Dist::point(g.n(), src);
+            for _ in 0..6 {
+                for src_opt in [None, Some(src)] {
+                    let a = scratch.check(p.as_slice(), &sizes, o.eps, src_opt);
+                    let b = check_dist(&p, &sizes, o.eps, src_opt);
+                    match (a, b) {
+                        (None, None) => {}
+                        (Some(x), Some(y)) => {
+                            assert_eq!(x.size, y.size);
+                            assert_eq!(x.l1.to_bits(), y.l1.to_bits());
+                            assert_eq!(x.nodes, y.nodes);
+                        }
+                        other => panic!("scratch/one-shot mismatch: {other:?}"),
+                    }
+                }
+                p = step(&g, &p, o.kind);
+            }
+        }
     }
 }

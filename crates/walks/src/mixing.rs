@@ -1,9 +1,23 @@
 //! Global mixing time `τ_mix_s(ε)` (Definition 1) and distance traces.
+//!
+//! All entry points are thin wrappers over the evolution engine
+//! ([`crate::engine`]): single-source quantities run frontier-sparse with
+//! the dense crossover, and [`graph_mixing_time`] advances sources in
+//! blocks of [`SWEEP_BLOCK`] columns through one shared CSR sweep per step
+//! (sharing one `stationary(g)` across all of them). Results are
+//! bit-for-bit what the historical per-source dense iteration produced.
 
+use crate::engine::{BlockEvolution, Evolution};
 use crate::stationary::stationary;
-use crate::step::{step, Trajectory, WalkKind};
-use crate::Dist;
+use crate::step::WalkKind;
 use lmt_graph::WalkGraph;
+
+/// How many sources a graph-wide sweep advances per shared CSR traversal.
+/// Each extra column costs `8n` bytes of state and one lane of arithmetic
+/// per touched edge, while the graph (offsets + neighbors + weights) is
+/// read once for the whole block — 8 keeps the working set comfortably
+/// cached while amortizing most of the graph traffic.
+pub const SWEEP_BLOCK: usize = 8;
 
 /// Outcome of a mixing-time computation.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,9 +70,9 @@ pub fn mixing_time<G: WalkGraph + ?Sized>(
     assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0,1)");
     crate::step::assert_source(g, src, "mixing_time");
     let pi = stationary(g);
-    let mut p = Dist::point(g.n(), src);
+    let mut ev = Evolution::from_point(g, src, kind);
     for t in 0..=max_t {
-        let d = p.l1_distance(&pi);
+        let d = ev.l1_to(pi.as_slice());
         if d < eps {
             return Ok(MixingResult {
                 tau: t,
@@ -66,27 +80,60 @@ pub fn mixing_time<G: WalkGraph + ?Sized>(
             });
         }
         if t < max_t {
-            p = step(g, &p, kind);
+            ev.step();
         }
     }
     Err(MixingError::NotMixedWithin(max_t))
 }
 
 /// The graph mixing time `τ_mix(ε) = max_v τ_mix_v(ε)` (Definition 1),
-/// computed exactly by running every source.
+/// computed exactly by running every source — in blocks of [`SWEEP_BLOCK`]
+/// columns per shared CSR sweep, with `stationary(g)` computed once for
+/// all of them. Each source's `τ` is bit-for-bit what a solo
+/// [`mixing_time`] call returns (a column is retired from its block the
+/// step its distance first drops below `ε`).
 ///
 /// # Panics
 /// As [`mixing_time`] — in particular, any isolated node makes the
-/// quantity undefined and panics on its turn as the source.
+/// quantity undefined and panics.
 pub fn graph_mixing_time<G: WalkGraph + ?Sized>(
     g: &G,
     eps: f64,
     kind: WalkKind,
     max_t: usize,
 ) -> Result<usize, MixingError> {
+    let n = g.n();
+    if n == 0 {
+        return Ok(0);
+    }
+    assert!(eps > 0.0 && eps < 1.0, "ε must lie in (0,1)");
+    crate::step::assert_source(g, 0, "mixing_time");
+    let pi = stationary(g);
+    for s in 1..n {
+        crate::step::assert_source(g, s, "mixing_time");
+    }
     let mut worst = 0;
-    for s in 0..g.n() {
-        worst = worst.max(mixing_time(g, s, eps, kind, max_t)?.tau);
+    let sources: Vec<usize> = (0..n).collect();
+    for chunk in sources.chunks(SWEEP_BLOCK) {
+        let mut block = BlockEvolution::new(g, chunk, kind);
+        for t in 0..=max_t {
+            let mut j = 0;
+            while j < block.width() {
+                if block.lane_l1(j, pi.as_slice()) < eps {
+                    worst = worst.max(t);
+                    block.retire(j);
+                } else {
+                    j += 1;
+                }
+            }
+            if block.width() == 0 {
+                break;
+            }
+            if t == max_t {
+                return Err(MixingError::NotMixedWithin(max_t));
+            }
+            block.step();
+        }
     }
     Ok(worst)
 }
@@ -100,10 +147,15 @@ pub fn graph_mixing_time<G: WalkGraph + ?Sized>(
 pub fn l1_trace<G: WalkGraph + ?Sized>(g: &G, src: usize, kind: WalkKind, t_max: usize) -> Vec<f64> {
     crate::step::assert_source(g, src, "l1_trace");
     let pi = stationary(g);
-    Trajectory::new(g, Dist::point(g.n(), src), kind)
-        .take(t_max + 1)
-        .map(|p| p.l1_distance(&pi))
-        .collect()
+    let mut ev = Evolution::from_point(g, src, kind);
+    let mut out = Vec::with_capacity(t_max + 1);
+    for t in 0..=t_max {
+        out.push(ev.l1_to(pi.as_slice()));
+        if t < t_max {
+            ev.step();
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -174,6 +226,28 @@ mod tests {
             .unwrap()
             .tau;
         assert!(gm >= from_tail);
+    }
+
+    #[test]
+    fn blocked_sweep_equals_per_source_sweep() {
+        // n = 11 forces a ragged final block (8 + 3); the blocked sweep
+        // must reproduce the per-source maximum exactly.
+        let g = gen::lollipop(6, 5);
+        let blocked = graph_mixing_time(&g, EPS, WalkKind::Lazy, 10_000).unwrap();
+        let mut per_source = 0;
+        for s in 0..g.n() {
+            per_source =
+                per_source.max(mixing_time(&g, s, EPS, WalkKind::Lazy, 10_000).unwrap().tau);
+        }
+        assert_eq!(blocked, per_source);
+    }
+
+    #[test]
+    fn graph_mixing_time_not_mixed_error() {
+        // Simple walk on a bipartite graph: no source ever mixes.
+        let g = gen::cycle(8);
+        let err = graph_mixing_time(&g, EPS, WalkKind::Simple, 50).unwrap_err();
+        assert_eq!(err, MixingError::NotMixedWithin(50));
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub mod producer;
 pub use pool::current_num_threads;
 
 use producer::{
-    EnumerateProducer, FilterProducer, MapProducer, Producer, SliceMutProducer, SliceProducer,
-    VecProducer, ZipProducer,
+    ChunksMutProducer, EnumerateProducer, FilterProducer, MapProducer, Producer, SliceMutProducer,
+    SliceProducer, VecProducer, ZipProducer,
 };
 use std::sync::Arc;
 
@@ -377,10 +377,37 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
     }
 }
 
+/// `par_chunks_mut` on mutable slices (the subset of rayon's
+/// `ParallelSliceMut` the workspace uses). Each yielded item is a disjoint
+/// `&mut [T]` window of `chunk_size` elements (the last may be shorter);
+/// workers receive whole windows, so per-window writes never race.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable windows of
+    /// `chunk_size` elements.
+    ///
+    /// # Panics
+    /// Panics if `chunk_size == 0`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "par_chunks_mut needs a positive chunk size");
+        ParIter {
+            p: ChunksMutProducer {
+                slice: self,
+                chunk: chunk_size,
+            },
+            min_len: 1,
+        }
+    }
+}
+
 /// What call sites import: `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSliceMut,
     };
 }
 
@@ -565,5 +592,48 @@ mod tests {
             });
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_window_once() {
+        // 10 elements in windows of 3 → pieces of 3,3,3,1; every element
+        // written exactly once with its window index, at every width.
+        for width in [1usize, 2, 8] {
+            let mut data = vec![0usize; 10];
+            at_width(width, || {
+                data.par_chunks_mut(3).enumerate().for_each(|(w, piece)| {
+                    for x in piece {
+                        *x += 100 * (w + 1);
+                    }
+                });
+            });
+            assert_eq!(
+                data,
+                vec![100, 100, 100, 200, 200, 200, 300, 300, 300, 400],
+                "width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_splits_on_window_boundaries() {
+        let mut data = vec![0u8; 10];
+        let p = crate::producer::ChunksMutProducer {
+            slice: &mut data,
+            chunk: 3,
+        };
+        assert_eq!(p.len(), 4);
+        let (l, r) = p.split_at(2);
+        assert_eq!(l.len(), 2);
+        assert_eq!(r.len(), 2);
+        let pieces: Vec<usize> = l.into_seq().chain(r.into_seq()).map(|c| c.len()).collect();
+        assert_eq!(pieces, vec![3, 3, 3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive chunk size")]
+    fn par_chunks_mut_zero_chunk_rejected() {
+        let mut data = [0u8; 4];
+        let _ = data.par_chunks_mut(0);
     }
 }

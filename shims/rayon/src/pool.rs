@@ -23,23 +23,31 @@ const MAX_THREADS: usize = 256;
 /// 2. [`std::thread::available_parallelism`];
 /// 3. `1` if neither is available.
 ///
-/// Read per operation (not cached) so a test can change `LMT_THREADS`
-/// mid-process and observe the new width immediately.
+/// The env var is read per operation (not cached) so a test can change
+/// `LMT_THREADS` mid-process and observe the new width immediately. The
+/// `available_parallelism()` fallback *is* cached: it cannot change over a
+/// process's lifetime, and the lookup walks cgroup quota files on Linux —
+/// expensive enough to dominate fine-grained dispatch (a small-`n` walk
+/// sweep issues one dispatch per step; the probe was measured at ~6× the
+/// useful work at n = 64).
 ///
 /// # Panics
 /// Panics on an unparsable `LMT_THREADS` (matching the workspace's
 /// `PROPTEST_CASES` convention: abort rather than silently running with a
 /// different width).
 pub fn current_num_threads() -> usize {
+    static HW_THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     match std::env::var("LMT_THREADS") {
         Ok(s) => s
             .trim()
             .parse::<usize>()
             .unwrap_or_else(|e| panic!("invalid LMT_THREADS value {s:?}: {e}"))
             .clamp(1, MAX_THREADS),
-        Err(_) => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        Err(_) => *HW_THREADS.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
     }
 }
 

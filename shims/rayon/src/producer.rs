@@ -153,6 +153,44 @@ impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
     }
 }
 
+/// Producer over `&mut [T]` in fixed-size pieces (yields `&mut [T]` of
+/// length `chunk`, the final piece possibly shorter) — the engine of
+/// `par_chunks_mut`. Splits only at piece boundaries, so every piece is
+/// processed whole by exactly one worker.
+pub struct ChunksMutProducer<'a, T> {
+    pub(crate) slice: &'a mut [T],
+    pub(crate) chunk: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    const EXACT: bool = true;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.chunk).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer {
+                slice: l,
+                chunk: self.chunk,
+            },
+            ChunksMutProducer {
+                slice: r,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
 /// Producer over an owned `Vec<T>`.
 pub struct VecProducer<T> {
     pub(crate) vec: Vec<T>,

@@ -30,8 +30,10 @@ pub mod prelude {
     pub use lmt_graph::{
         cuts, gen, props, Graph, GraphBuilder, WalkGraph, WeightedGraph, WeightedGraphBuilder,
     };
+    pub use lmt_walks::engine::{evolve_block, BlockEvolution, Evolution};
     pub use lmt_walks::local::{
-        local_mixing_time, restricted_trace, FlatPolicy, LocalMixOptions, SizeGrid,
+        graph_local_mixing_time, local_mixing_time, restricted_trace, FlatPolicy,
+        LocalMixOptions, SizeGrid,
     };
     pub use lmt_walks::mixing::{graph_mixing_time, l1_trace, mixing_time};
     pub use lmt_walks::{Dist, WalkKind};

@@ -345,6 +345,183 @@ fn routing_multi_shard_parallel_equals_sequential() {
     at_widths(|| routing_mixer::assert_steady_alloc(&g, EngineKind::Parallel));
 }
 
+/// The walk evolution engine (ISSUE 5): the frontier-sparse path and the
+/// multi-source-blocked path must both be **bit-identical** to the dense
+/// reference (`lmt_walks::step::step` iterated), per lane, at every pool
+/// width — on unweighted and on randomly-weighted graphs.
+mod evolution_engine {
+    use super::*;
+    use lmt_walks::engine::{evolve_block, BlockEvolution, Evolution};
+    use lmt_walks::step::step;
+
+    /// `p_0..p_t` by iterated dense steps — the historical reference path.
+    pub fn dense_trajectory<G: WalkGraph + ?Sized>(
+        g: &G,
+        src: usize,
+        kind: WalkKind,
+        t: usize,
+    ) -> Vec<Dist> {
+        let mut p = Dist::point(g.n(), src);
+        let mut out = vec![p.clone()];
+        for _ in 0..t {
+            p = step(g, &p, kind);
+            out.push(p.clone());
+        }
+        out
+    }
+
+    /// Digest of a frontier-sparse evolution compared step-by-step against
+    /// the dense reference; panics on the first bit mismatch.
+    pub fn sparse_vs_dense_digest<G: WalkGraph + ?Sized>(
+        g: &G,
+        src: usize,
+        kind: WalkKind,
+        t: usize,
+    ) -> String {
+        let reference = dense_trajectory(g, src, kind, t);
+        let mut ev = Evolution::from_point(g, src, kind);
+        for (step_no, want) in reference.iter().enumerate() {
+            assert_eq!(&ev.current_dist(), want, "sparse != dense at step {step_no}");
+            ev.step();
+        }
+        format!("{:?} | dense={}", reference.last().unwrap(), ev.is_dense())
+    }
+
+    /// Digest of a blocked evolution at the given block width compared
+    /// lane-by-lane against solo dense runs.
+    pub fn blocked_vs_solo_digest<G: WalkGraph + ?Sized>(
+        g: &G,
+        sources: &[usize],
+        kind: WalkKind,
+        t: usize,
+    ) -> String {
+        let blocked = evolve_block(g, sources, kind, t);
+        for (j, &s) in sources.iter().enumerate() {
+            let solo = dense_trajectory(g, s, kind, t).pop().unwrap();
+            assert_eq!(blocked[j], solo, "blocked lane {j} != solo source {s}");
+        }
+        format!("{blocked:?}")
+    }
+
+    /// A crossover sitting exactly on a step's candidate volume: lazy C_64
+    /// from one source has candidate volume 2(2t+3) before step t+1, so
+    /// 18/128 fires the ≥-threshold precisely entering step 4.
+    pub fn boundary_digest() -> String {
+        let g = gen::cycle(64);
+        let reference = dense_trajectory(&g, 10, WalkKind::Lazy, 8);
+        let mut ev = BlockEvolution::with_crossover(&g, &[10], WalkKind::Lazy, 18.0 / 128.0);
+        for (t, want) in reference.iter().enumerate() {
+            assert_eq!(&ev.lane_dist(0), want, "boundary mismatch at step {t}");
+            assert_eq!(ev.is_dense(), t >= 4, "crossover fired off-boundary at {t}");
+            ev.step();
+        }
+        format!("{:?}", reference.last().unwrap())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Frontier-sparse ≡ dense, bit-for-bit, across the crossover, at every
+    /// pool width — unweighted and randomly weighted.
+    #[test]
+    fn engine_sparse_equals_dense((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let wg = gen::weighted::random_weights(g.clone(), 0.25, 4.0, seed ^ 0x51);
+        let results = at_widths(|| {
+            let a = evolution_engine::sparse_vs_dense_digest(&g, 0, WalkKind::Lazy, 18);
+            let b = evolution_engine::sparse_vs_dense_digest(&wg, 0, WalkKind::Lazy, 18);
+            format!("{a} || {b}")
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "engine results drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    /// Blocked ≡ one-source-at-a-time, bit-for-bit per lane, at block
+    /// widths 1, 2, and 8, at every pool width — unweighted and weighted.
+    #[test]
+    fn engine_blocked_equals_solo((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let wg = gen::weighted::random_weights(g.clone(), 0.25, 4.0, seed ^ 0xB10C);
+        let results = at_widths(|| {
+            let mut digests = Vec::new();
+            for block_width in [1usize, 2, 8] {
+                let sources: Vec<usize> = (0..block_width).map(|j| (j * 3) % n).collect();
+                digests.push(evolution_engine::blocked_vs_solo_digest(
+                    &g, &sources, WalkKind::Lazy, 12,
+                ));
+                digests.push(evolution_engine::blocked_vs_solo_digest(
+                    &wg, &sources, WalkKind::Lazy, 12,
+                ));
+            }
+            digests.join(" || ")
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "blocked results drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
+
+/// The crossover-threshold boundary case (candidate volume exactly at the
+/// threshold) must behave identically — and stay bit-identical to dense —
+/// at every pool width.
+#[test]
+fn engine_crossover_boundary_across_widths() {
+    let results = at_widths(evolution_engine::boundary_digest);
+    for pair in results.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "boundary digests drifted between widths {} and {}",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
+/// Graph-wide sweeps (now blocked + engine-backed) must agree exactly with
+/// the per-source wrappers at every pool width, unweighted and weighted.
+#[test]
+fn graph_sweeps_blocked_equal_per_source_across_widths() {
+    let (g, _) = gen::ring_of_cliques_regular(3, 6); // n = 18: ragged block
+    let wg = gen::weighted::uniform_weights(g.clone(), 1.5);
+    let results = at_widths(|| {
+        let eps = 1.0 / (8.0 * std::f64::consts::E);
+        let swept = graph_mixing_time(&g, eps, WalkKind::Lazy, 100_000).unwrap();
+        let per_source = (0..g.n())
+            .map(|s| mixing_time(&g, s, eps, WalkKind::Lazy, 100_000).unwrap().tau)
+            .max()
+            .unwrap();
+        assert_eq!(swept, per_source, "graph_mixing_time != max over sources");
+        let o = LocalMixOptions::new(3.0);
+        let local_swept = lmt_walks::local::graph_local_mixing_time(&wg, &o).unwrap();
+        let local_per_source = (0..g.n())
+            .map(|s| local_mixing_time(&wg, s, &o).unwrap().tau)
+            .max()
+            .unwrap();
+        assert_eq!(local_swept, local_per_source, "graph τ(β,ε) != max over sources");
+        format!("{swept} {local_swept}")
+    });
+    for pair in results.windows(2) {
+        assert_eq!(
+            pair[0].1, pair[1].1,
+            "sweep results drifted between widths {} and {}",
+            pair[0].0, pair[1].0
+        );
+    }
+}
+
 proptest! {
     // Each case runs Algorithm 2 from 2 sources × 2 engines × 3 widths;
     // keep the case count low.
