@@ -1,12 +1,20 @@
-//! Run the full experiment suite (T1–T11 + F1) in order, printing each
-//! table — this is what `EXPERIMENTS.md` records.
+//! Run the full experiment suite (T1–T13 + F1 + E1) in order, printing
+//! each table — this is what `EXPERIMENTS.md` records.
 //!
 //! Usage: `cargo run -p lmt-bench --release --bin exp_all`
 //! (build the siblings first: `cargo build --release -p lmt-bench --bins`)
+//!
+//! Every sibling runs even when one fails: per-binary pass/fail and
+//! duration go into `BENCH_exp_all.json` (written to `$LMT_BENCH_DIR` or
+//! the current directory), and the exit code is nonzero at the *end* if
+//! anything failed. The old behavior — abort on the first failing sibling
+//! with no record of what ran — is exactly what a long suite must not do.
 
-use std::process::Command;
+use lmt_bench::record::{bench_dir, BenchRecord, BinResult};
+use std::process::{Command, ExitCode};
+use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
     // Binary names as Cargo produces them ([[bin]] names use underscores).
     let bins = [
         "exp_t1_graph_classes",
@@ -28,14 +36,53 @@ fn main() {
     // Invoke sibling binaries from the same target directory.
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("target dir").to_path_buf();
+
+    let mut record = BenchRecord::new("exp_all");
     for bin in bins {
         println!("\n===== {bin} =====");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            eprintln!("{bin} exited with {status}");
-            std::process::exit(1);
-        }
+        let t0 = Instant::now();
+        let ok = match Command::new(dir.join(bin)).status() {
+            Ok(status) => {
+                if !status.success() {
+                    eprintln!("{bin} exited with {status}");
+                }
+                status.success()
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                false
+            }
+        };
+        record.bins.push(BinResult {
+            bin: bin.to_string(),
+            ok,
+            seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+
+    let failed: Vec<&str> = record
+        .bins
+        .iter()
+        .filter(|b| !b.ok)
+        .map(|b| b.bin.as_str())
+        .collect();
+    println!("\n===== summary =====");
+    for b in &record.bins {
+        println!(
+            "{:5} {:>8.1}s  {}",
+            if b.ok { "ok" } else { "FAIL" },
+            b.seconds,
+            b.bin
+        );
+    }
+    match record.write_to(&bench_dir()) {
+        Ok(path) => println!("record: {}", path.display()),
+        Err(e) => eprintln!("exp_all: cannot write record: {e}"),
+    }
+    if failed.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("exp_all: {} binaries failed: {}", failed.len(), failed.join(", "));
+        ExitCode::from(1)
     }
 }

@@ -11,45 +11,80 @@
 //!   `stationary`) at n = 64.
 //!
 //! Both paths produce bit-identical results (asserted here per rep);
-//! medians of 5 wall-clock reps.
+//! medians of 5 wall-clock reps (shared [`lmt_bench::timing`] helpers).
+//! Besides the table, the run emits `BENCH_e1_engine_ab.json` — the
+//! committed spec `specs/e1_engine_ab.json` regenerates the oracle half
+//! declaratively via `bench_sweep`.
 
-use lmt_bench::dense_reference;
+use lmt_bench::record::{bench_dir, BenchRecord, Cell};
+use lmt_bench::timing::{summarize, time_reps_ms};
+use lmt_bench::{dense_reference, EPS};
 use lmt_graph::gen;
 use lmt_util::table::Table;
 use lmt_walks::local::{local_mixing_time, LocalMixOptions};
 use lmt_walks::mixing::graph_mixing_time;
 use lmt_walks::WalkKind;
 
-const EPS: f64 = 1.0 / (8.0 * std::f64::consts::E);
 const REPS: usize = 5;
 
-/// Median wall-clock of `REPS` runs, in milliseconds.
-fn median_ms(mut f: impl FnMut()) -> f64 {
-    let mut times: Vec<f64> = (0..REPS)
-        .map(|_| {
-            let t0 = std::time::Instant::now();
-            f();
-            t0.elapsed().as_secs_f64() * 1e3
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    times[REPS / 2]
+struct Ab<'a> {
+    table: &'a mut Table,
+    record: &'a mut BenchRecord,
 }
 
-fn row(t: &mut Table, name: &str, dense_ms: f64, engine_ms: f64) {
-    t.row(&[
-        name.to_string(),
-        format!("{dense_ms:.2}"),
-        format!("{engine_ms:.2}"),
-        format!("{:.2}x", dense_ms / engine_ms),
-    ]);
+impl Ab<'_> {
+    /// Time both paths, assert agreement upstream, record one table row
+    /// plus two JSON cells.
+    #[allow(clippy::too_many_arguments)]
+    fn row(
+        &mut self,
+        name: &str,
+        graph: &str,
+        weighting: &str,
+        beta: f64,
+        tau: u64,
+        dense: impl FnMut(),
+        engine: impl FnMut(),
+    ) {
+        let dense_times = time_reps_ms(REPS, dense);
+        let engine_times = time_reps_ms(REPS, engine);
+        let dense_ms = summarize(&dense_times).expect("finite times").median_ms;
+        let engine_ms = summarize(&engine_times).expect("finite times").median_ms;
+        self.table.row(&[
+            name.to_string(),
+            format!("{dense_ms:.2}"),
+            format!("{engine_ms:.2}"),
+            format!("{:.2}x", dense_ms / engine_ms),
+        ]);
+        let threads = rayon::current_num_threads();
+        for (impl_label, times) in [("dense", dense_times), ("engine", engine_times)] {
+            self.record.cells.push(Cell {
+                scenario: format!(
+                    "g={graph}|w={weighting}|beta={beta}|eps={EPS}|engine={impl_label}|threads={threads}"
+                ),
+                graph: graph.to_string(),
+                weighting: weighting.to_string(),
+                beta,
+                eps: EPS,
+                engine: impl_label.to_string(),
+                threads,
+                tau: Some(tau),
+                timing: summarize(&times),
+            });
+        }
+    }
 }
 
 fn main() {
-    let mut t = Table::new(
+    let mut table = Table::new(
         format!("E1: dense reference vs evolution engine (medians of {REPS}, ms)"),
         &["workload", "dense", "engine", "speedup"],
     );
+    let mut record = BenchRecord::new("e1_engine_ab");
+    let mut ab = Ab {
+        table: &mut table,
+        record: &mut record,
+    };
 
     // Single-source oracle at the acceptance scale n = 2¹².
     let (g, _) = gen::ring_of_cliques_regular(8, 512);
@@ -57,39 +92,64 @@ fn main() {
     let tau_dense = dense_reference::local_mixing_time(&g, 3, &o);
     let tau_engine = local_mixing_time(&g, 3, &o).expect("local mixing").tau;
     assert_eq!(tau_dense, tau_engine, "oracle A/B must agree exactly");
-    let d = median_ms(|| {
-        dense_reference::local_mixing_time(&g, 3, &o);
-    });
-    let e = median_ms(|| {
-        local_mixing_time(&g, 3, &o).expect("local mixing");
-    });
-    row(&mut t, "oracle τ_s, clique-ring(8,512) n=4096", d, e);
+    ab.row(
+        "oracle τ_s, clique-ring(8,512) n=4096",
+        "clique-ring(beta=8,k=512)",
+        "unit",
+        8.0,
+        tau_engine as u64,
+        || {
+            dense_reference::local_mixing_time(&g, 3, &o);
+        },
+        || {
+            local_mixing_time(&g, 3, &o).expect("local mixing");
+        },
+    );
 
     // Same oracle on the weighted twin: the WalkGraph seam hands the
     // engine to WeightedGraph for free.
     let wg = gen::weighted::uniform_weights(g.clone(), 2.0);
-    let dw = median_ms(|| {
-        dense_reference::local_mixing_time(&wg, 3, &o);
-    });
-    let ew = median_ms(|| {
-        local_mixing_time(&wg, 3, &o).expect("local mixing");
-    });
-    row(&mut t, "oracle τ_s, weighted twin n=4096", dw, ew);
+    let tau_weighted = local_mixing_time(&wg, 3, &o).expect("local mixing").tau;
+    ab.row(
+        "oracle τ_s, weighted twin n=4096",
+        "clique-ring(beta=8,k=512)",
+        "uniform(2)",
+        8.0,
+        tau_weighted as u64,
+        || {
+            dense_reference::local_mixing_time(&wg, 3, &o);
+        },
+        || {
+            local_mixing_time(&wg, 3, &o).expect("local mixing");
+        },
+    );
 
     // Full graph_mixing_time sweep: blocked SpMM + shared stationary.
+    // Recorded with β = 1 (a β=1 local-mix set is the whole graph, i.e.
+    // global mixing) and a taumix marker in the graph label.
     let (small, _) = gen::ring_of_cliques_regular(4, 16);
     let gm_dense = dense_reference::graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000);
     let gm_engine = graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000).expect("mixing");
     assert_eq!(gm_dense, gm_engine, "sweep A/B must agree exactly");
-    let ds = median_ms(|| {
-        dense_reference::graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000);
-    });
-    let es = median_ms(|| {
-        graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000).expect("mixing");
-    });
-    row(&mut t, "graph τ_mix sweep, clique-ring(4,16) n=64", ds, es);
+    ab.row(
+        "graph τ_mix sweep, clique-ring(4,16) n=64",
+        "taumix:clique-ring(beta=4,k=16)",
+        "unit",
+        1.0,
+        gm_engine as u64,
+        || {
+            dense_reference::graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000);
+        },
+        || {
+            graph_mixing_time(&small, EPS, WalkKind::Lazy, 1_000_000).expect("mixing");
+        },
+    );
 
-    print!("{}", t.render());
+    print!("{}", table.render());
     println!("τ_s = {tau_engine}, τ_mix = {gm_engine}; both paths bit-identical (asserted).");
     println!("ε = {EPS:.4}");
+    match record.write_to(&bench_dir()) {
+        Ok(path) => println!("record: {}", path.display()),
+        Err(e) => eprintln!("exp_e1_engine_ab: cannot write record: {e}"),
+    }
 }

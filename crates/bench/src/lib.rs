@@ -3,9 +3,26 @@
 //! Shared harness for the experiment binaries (`exp-*`) and criterion
 //! benches. Each binary regenerates one row-set of DESIGN.md §4's experiment
 //! index; `exp-all` runs the full suite (what EXPERIMENTS.md records).
+//!
+//! Since ISSUE 6 the harness is also the machine-readable side of the perf
+//! trajectory: [`spec`] parses declarative scenario-sweep specs
+//! (`specs/*.json`), [`sweep`] executes them, [`record`] +
+//! [`fingerprint`] define the `BENCH_<tag>.json` schema the runs emit, and
+//! [`diff`] compares two records (the `bench_diff` gate). [`json`] is the
+//! vendored JSON layer underneath (no crates.io in the container), and
+//! [`timing`] holds the shared wall-clock helpers the experiment binaries
+//! previously duplicated.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod diff;
+pub mod fingerprint;
+pub mod json;
+pub mod record;
+pub mod spec;
+pub mod sweep;
+pub mod timing;
 
 use lmt_graph::gen::{self, Workload};
 use lmt_walks::local::{LocalMixOptions, SizeGrid};
@@ -27,6 +44,10 @@ pub fn oracle_opts(beta: f64) -> LocalMixOptions {
 /// The standard workload set of §2.3: complete, d-regular expander, path,
 /// and the (regularized) clique chain standing in for the β-barbell.
 pub fn classic_workloads(n: usize, beta: usize, seed: u64) -> Vec<Workload> {
+    // A ring needs at least three cliques; label from the *effective*
+    // parameters so the recorded scenario name always matches the graph
+    // that was measured (for beta < 3 the old label lied on both counts).
+    let beta = beta.max(3);
     let k = (n / beta).max(4);
     vec![
         Workload::new(format!("complete(n={n})"), gen::complete(n), 0),
@@ -38,14 +59,14 @@ pub fn classic_workloads(n: usize, beta: usize, seed: u64) -> Vec<Workload> {
         Workload::new(format!("path(n={n})"), gen::path(n), 0),
         Workload::new(
             format!("clique-ring(beta={beta},k={k})"),
-            gen::ring_of_cliques_regular(beta.max(3), k).0,
+            gen::ring_of_cliques_regular(beta, k).0,
             0,
         ),
     ]
 }
 
-/// Oracle local mixing time; returns `u64::MAX` when not reached within the
-/// cap (reported as `∞` by callers).
+/// Oracle local mixing time; returns `None` when no witness appears within
+/// the `max_t` cap (reported as `∞` by callers via [`fmt_opt`]).
 pub fn oracle_tau(w: &Workload, beta: f64, kind: WalkKind, max_t: usize) -> Option<u64> {
     let mut o = oracle_opts(beta);
     o.kind = kind;
@@ -168,6 +189,23 @@ mod tests {
         assert_eq!(walk_kind_for(path), WalkKind::Lazy);
         let complete = ws.iter().find(|w| w.name.starts_with("complete")).unwrap();
         assert_eq!(walk_kind_for(complete), WalkKind::Simple);
+    }
+
+    #[test]
+    fn clique_ring_label_matches_effective_parameters() {
+        // Regression: beta < 3 used to build with beta.max(3) cliques but
+        // label the unclamped beta, and size cliques from the unclamped
+        // divisor — the scenario name lied about the measured graph.
+        let ws = classic_workloads(64, 2, 1);
+        let ring = ws.iter().find(|w| w.name.starts_with("clique-ring")).unwrap();
+        assert_eq!(ring.name, "clique-ring(beta=3,k=21)");
+        assert_eq!(ring.graph.n(), 3 * 21);
+
+        // Unclamped betas are untouched.
+        let ws = classic_workloads(64, 8, 1);
+        let ring = ws.iter().find(|w| w.name.starts_with("clique-ring")).unwrap();
+        assert_eq!(ring.name, "clique-ring(beta=8,k=8)");
+        assert_eq!(ring.graph.n(), 64);
     }
 
     #[test]

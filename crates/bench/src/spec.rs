@@ -1,0 +1,531 @@
+//! Declarative scenario-sweep specs: the 5-dimensional experiment space as
+//! a committed JSON file.
+//!
+//! A spec names a point set in **graph family × weighting × (β,ε) grid ×
+//! engine × pool width**; the runner ([`crate::sweep`]) executes every cell
+//! of the cross product and emits one `BENCH_<tag>.json` record. Committed
+//! specs live under `specs/` (see EXPERIMENTS.md for the format reference
+//! and `specs/tiny.json` for the CI example).
+//!
+//! The parser is strict: unknown keys anywhere in the spec are errors, so a
+//! typo'd dimension name cannot silently shrink a sweep.
+
+use lmt_graph::gen::{self, Workload};
+use lmt_graph::{Graph, WeightedGraph};
+
+use crate::json::Json;
+
+/// A parsed sweep spec (see module docs for the file format).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Run tag: names the output record `BENCH_<tag>.json`.
+    pub tag: String,
+    /// Timed repetitions per cell.
+    pub reps: usize,
+    /// Step cap for every τ computation in the sweep.
+    pub max_t: usize,
+    /// Graph-family dimension.
+    pub graphs: Vec<GraphSpec>,
+    /// Weighting dimension.
+    pub weightings: Vec<Weighting>,
+    /// β half of the (β,ε) grid.
+    pub betas: Vec<f64>,
+    /// ε half of the (β,ε) grid.
+    pub epsilons: Vec<f64>,
+    /// Engine dimension (which τ implementation runs the cell).
+    pub engines: Vec<EngineChoice>,
+    /// `LMT_THREADS` pool-width dimension.
+    pub threads: Vec<usize>,
+}
+
+/// One graph family + size from the generator zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// `gen::complete(n)`.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// `gen::path(n)`.
+    Path {
+        /// Node count.
+        n: usize,
+    },
+    /// `gen::cycle(n)`.
+    Cycle {
+        /// Node count.
+        n: usize,
+    },
+    /// `gen::random_regular(n, d, seed)`.
+    Expander {
+        /// Node count.
+        n: usize,
+        /// Degree.
+        d: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `gen::ring_of_cliques_regular(beta, k)` — the β-barbell stand-in.
+    CliqueRing {
+        /// Number of cliques (≥ 3).
+        beta: usize,
+        /// Clique size.
+        k: usize,
+    },
+}
+
+/// Weight decoration applied to a graph-family topology.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Weighting {
+    /// Plain unweighted graph.
+    Unit,
+    /// `gen::weighted::uniform_weights(g, w)` — all edges weight `w`.
+    Uniform(f64),
+    /// `gen::weighted::random_weights(g, lo, hi, seed)`.
+    Random {
+        /// Lower weight bound.
+        lo: f64,
+        /// Upper weight bound.
+        hi: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Which τ implementation a cell measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The frontier-sparse evolution engine (`lmt_walks::engine`).
+    Engine,
+    /// The pre-engine dense reference ([`crate::dense_reference`]).
+    Dense,
+}
+
+/// A built cell substrate: the topology's weighted/unweighted variant.
+pub enum AnyGraph {
+    /// Unweighted CSR graph.
+    Unweighted(Graph),
+    /// Weighted decoration of the same topology.
+    Weighted(WeightedGraph),
+}
+
+impl GraphSpec {
+    /// Build the graph, with its display name and measurement source.
+    pub fn build(&self) -> Workload {
+        match *self {
+            GraphSpec::Complete { n } => {
+                Workload::new(format!("complete(n={n})"), gen::complete(n), 0)
+            }
+            GraphSpec::Path { n } => Workload::new(format!("path(n={n})"), gen::path(n), 0),
+            GraphSpec::Cycle { n } => Workload::new(format!("cycle(n={n})"), gen::cycle(n), 0),
+            GraphSpec::Expander { n, d, seed } => Workload::new(
+                format!("expander(n={n},d={d})"),
+                gen::random_regular(n, d, seed),
+                0,
+            ),
+            GraphSpec::CliqueRing { beta, k } => Workload::new(
+                format!("clique-ring(beta={beta},k={k})"),
+                gen::ring_of_cliques_regular(beta, k).0,
+                0,
+            ),
+        }
+    }
+}
+
+impl Weighting {
+    /// Display label used in scenario keys, e.g. `uniform(2)`.
+    pub fn label(&self) -> String {
+        match self {
+            Weighting::Unit => "unit".into(),
+            Weighting::Uniform(w) => format!("uniform({w})"),
+            Weighting::Random { lo, hi, seed } => format!("random({lo}..{hi},seed={seed})"),
+        }
+    }
+
+    /// Decorate a topology.
+    pub fn apply(&self, topology: Graph) -> AnyGraph {
+        match *self {
+            Weighting::Unit => AnyGraph::Unweighted(topology),
+            Weighting::Uniform(w) => {
+                AnyGraph::Weighted(gen::weighted::uniform_weights(topology, w))
+            }
+            Weighting::Random { lo, hi, seed } => {
+                AnyGraph::Weighted(gen::weighted::random_weights(topology, lo, hi, seed))
+            }
+        }
+    }
+}
+
+impl EngineChoice {
+    /// Display label used in scenario keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EngineChoice::Engine => "engine",
+            EngineChoice::Dense => "dense",
+        }
+    }
+}
+
+/// Error on object keys outside `allowed` (typo protection; see module
+/// docs).
+fn reject_unknown_keys(v: &Json, allowed: &[&str], what: &str) -> Result<(), String> {
+    let pairs = v
+        .as_obj()
+        .ok_or_else(|| format!("{what} must be an object"))?;
+    for (k, _) in pairs {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!(
+                "{what}: unknown key {k:?} (allowed: {})",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn usize_field(v: &Json, key: &str, what: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| format!("{what}: missing/mistyped {key:?} (non-negative integer)"))
+}
+
+fn f64_field(v: &Json, key: &str, what: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: missing/mistyped {key:?} (number)"))
+}
+
+fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
+    let family = v
+        .get("family")
+        .and_then(Json::as_str)
+        .ok_or("graph: missing/mistyped \"family\"")?;
+    let what = format!("graph family {family:?}");
+    match family {
+        "complete" | "path" | "cycle" => {
+            reject_unknown_keys(v, &["family", "n"], &what)?;
+            let n = usize_field(v, "n", &what)?;
+            if n < 2 {
+                return Err(format!("{what}: n must be ≥ 2"));
+            }
+            Ok(match family {
+                "complete" => GraphSpec::Complete { n },
+                "path" => GraphSpec::Path { n },
+                _ => GraphSpec::Cycle { n },
+            })
+        }
+        "expander" => {
+            reject_unknown_keys(v, &["family", "n", "d", "seed"], &what)?;
+            let n = usize_field(v, "n", &what)?;
+            let d = usize_field(v, "d", &what)?;
+            if d == 0 || d >= n {
+                return Err(format!("{what}: need 0 < d < n"));
+            }
+            Ok(GraphSpec::Expander {
+                n,
+                d,
+                seed: usize_field(v, "seed", &what)? as u64,
+            })
+        }
+        "clique_ring" => {
+            reject_unknown_keys(v, &["family", "beta", "k"], &what)?;
+            let beta = usize_field(v, "beta", &what)?;
+            let k = usize_field(v, "k", &what)?;
+            if beta < 3 {
+                return Err(format!(
+                    "{what}: beta must be ≥ 3 (a ring needs three cliques)"
+                ));
+            }
+            if k < 4 {
+                return Err(format!("{what}: k must be ≥ 4"));
+            }
+            Ok(GraphSpec::CliqueRing { beta, k })
+        }
+        other => Err(format!(
+            "graph: unknown family {other:?} (complete, path, cycle, expander, clique_ring)"
+        )),
+    }
+}
+
+fn parse_weighting(v: &Json) -> Result<Weighting, String> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "unit" => Ok(Weighting::Unit),
+            other => Err(format!(
+                "weighting: unknown shorthand {other:?} (only \"unit\"; use an object otherwise)"
+            )),
+        };
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("weighting: must be \"unit\" or an object with a \"kind\"")?;
+    let what = format!("weighting {kind:?}");
+    match kind {
+        "unit" => {
+            reject_unknown_keys(v, &["kind"], &what)?;
+            Ok(Weighting::Unit)
+        }
+        "uniform" => {
+            reject_unknown_keys(v, &["kind", "w"], &what)?;
+            let w = f64_field(v, "w", &what)?;
+            if w.is_nan() || w <= 0.0 {
+                return Err(format!("{what}: w must be positive"));
+            }
+            Ok(Weighting::Uniform(w))
+        }
+        "random" => {
+            reject_unknown_keys(v, &["kind", "lo", "hi", "seed"], &what)?;
+            let lo = f64_field(v, "lo", &what)?;
+            let hi = f64_field(v, "hi", &what)?;
+            if lo.is_nan() || hi.is_nan() || lo <= 0.0 || hi < lo {
+                return Err(format!("{what}: need 0 < lo ≤ hi"));
+            }
+            Ok(Weighting::Random {
+                lo,
+                hi,
+                seed: usize_field(v, "seed", &what)? as u64,
+            })
+        }
+        other => Err(format!(
+            "weighting: unknown kind {other:?} (unit, uniform, random)"
+        )),
+    }
+}
+
+fn parse_engine(v: &Json) -> Result<EngineChoice, String> {
+    match v.as_str() {
+        Some("engine") => Ok(EngineChoice::Engine),
+        Some("dense") => Ok(EngineChoice::Dense),
+        _ => Err("engines: entries must be \"engine\" or \"dense\"".into()),
+    }
+}
+
+fn non_empty_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    let arr = v
+        .get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("spec: missing/mistyped {key:?} (array)"))?;
+    if arr.is_empty() {
+        return Err(format!("spec: {key:?} must not be empty"));
+    }
+    Ok(arr)
+}
+
+impl SweepSpec {
+    /// Parse a spec from JSON text. Strict: see module docs.
+    pub fn parse(text: &str) -> Result<SweepSpec, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        reject_unknown_keys(
+            &v,
+            &[
+                "tag",
+                "reps",
+                "max_t",
+                "graphs",
+                "weightings",
+                "betas",
+                "epsilons",
+                "engines",
+                "threads",
+            ],
+            "spec",
+        )?;
+
+        let tag = v
+            .get("tag")
+            .and_then(Json::as_str)
+            .ok_or("spec: missing/mistyped \"tag\"")?
+            .to_string();
+        if tag.is_empty()
+            || !tag
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(format!(
+                "spec: tag {tag:?} must be non-empty [A-Za-z0-9_-] (it names the output file)"
+            ));
+        }
+
+        let reps = match v.get("reps") {
+            None => 3,
+            Some(r) => r.as_usize().ok_or("spec: \"reps\" must be an integer")?,
+        };
+        if reps == 0 {
+            return Err("spec: \"reps\" must be ≥ 1".into());
+        }
+        let max_t = match v.get("max_t") {
+            None => 1 << 20,
+            Some(m) => m.as_usize().ok_or("spec: \"max_t\" must be an integer")?,
+        };
+
+        let graphs = non_empty_arr(&v, "graphs")?
+            .iter()
+            .map(parse_graph)
+            .collect::<Result<Vec<_>, _>>()?;
+        let weightings = match v.get("weightings") {
+            None => vec![Weighting::Unit],
+            Some(_) => non_empty_arr(&v, "weightings")?
+                .iter()
+                .map(parse_weighting)
+                .collect::<Result<_, _>>()?,
+        };
+        let betas = non_empty_arr(&v, "betas")?
+            .iter()
+            .map(|b| {
+                b.as_f64()
+                    .filter(|b| *b >= 1.0)
+                    .ok_or("spec: \"betas\" entries must be numbers ≥ 1")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let epsilons = non_empty_arr(&v, "epsilons")?
+            .iter()
+            .map(|e| {
+                e.as_f64()
+                    .filter(|e| *e > 0.0 && *e < 1.0)
+                    .ok_or("spec: \"epsilons\" entries must be numbers in (0,1)")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let engines = match v.get("engines") {
+            None => vec![EngineChoice::Engine],
+            Some(_) => non_empty_arr(&v, "engines")?
+                .iter()
+                .map(parse_engine)
+                .collect::<Result<_, _>>()?,
+        };
+        let threads = match v.get("threads") {
+            None => vec![1],
+            Some(_) => non_empty_arr(&v, "threads")?
+                .iter()
+                .map(|t| {
+                    t.as_usize()
+                        .filter(|t| *t >= 1)
+                        .ok_or("spec: \"threads\" entries must be integers ≥ 1")
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+
+        Ok(SweepSpec {
+            tag,
+            reps,
+            max_t,
+            graphs,
+            weightings,
+            betas,
+            epsilons,
+            engines,
+            threads,
+        })
+    }
+
+    /// Number of cells the cross product expands to.
+    pub fn cell_count(&self) -> usize {
+        self.graphs.len()
+            * self.weightings.len()
+            * self.betas.len()
+            * self.epsilons.len()
+            * self.engines.len()
+            * self.threads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = r#"{
+        "tag": "demo",
+        "reps": 2,
+        "max_t": 10000,
+        "graphs": [
+            {"family": "complete", "n": 16},
+            {"family": "clique_ring", "beta": 4, "k": 8},
+            {"family": "expander", "n": 32, "d": 4, "seed": 7}
+        ],
+        "weightings": ["unit", {"kind": "uniform", "w": 2.0}],
+        "betas": [4, 8],
+        "epsilons": [0.046],
+        "engines": ["engine", "dense"],
+        "threads": [1, 2]
+    }"#;
+
+    #[test]
+    fn parses_full_spec_and_counts_cells() {
+        let s = SweepSpec::parse(FULL).unwrap();
+        assert_eq!(s.tag, "demo");
+        assert_eq!(s.reps, 2);
+        assert_eq!(s.max_t, 10000);
+        // graphs × weightings × betas × epsilons × engines × threads
+        assert_eq!(s.cell_count(), 3 * 2 * 2 * 2 * 2);
+        assert_eq!(s.weightings[1], Weighting::Uniform(2.0));
+        assert_eq!(s.engines, [EngineChoice::Engine, EngineChoice::Dense]);
+    }
+
+    #[test]
+    fn defaults_fill_optional_dimensions() {
+        let s = SweepSpec::parse(
+            r#"{"tag": "t", "graphs": [{"family": "path", "n": 8}],
+                "betas": [2], "epsilons": [0.1]}"#,
+        )
+        .unwrap();
+        assert_eq!(s.reps, 3);
+        assert_eq!(s.max_t, 1 << 20);
+        assert_eq!(s.weightings, [Weighting::Unit]);
+        assert_eq!(s.engines, [EngineChoice::Engine]);
+        assert_eq!(s.threads, [1]);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_everywhere() {
+        for (bad, needle) in [
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1],"thread":[1]}"#, "thread"),
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8,"m":2}],"betas":[2],"epsilons":[0.1]}"#, "\"m\""),
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1],"weightings":[{"kind":"uniform","w":1,"x":2}]}"#, "\"x\""),
+        ] {
+            let e = SweepSpec::parse(bad).unwrap_err();
+            assert!(e.contains(needle), "{bad} -> {e}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        for (bad, needle) in [
+            (r#"{"tag":"a b","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1]}"#, "tag"),
+            (r#"{"tag":"t","graphs":[],"betas":[2],"epsilons":[0.1]}"#, "graphs"),
+            (r#"{"tag":"t","graphs":[{"family":"warp","n":8}],"betas":[2],"epsilons":[0.1]}"#, "warp"),
+            (r#"{"tag":"t","graphs":[{"family":"clique_ring","beta":2,"k":8}],"betas":[2],"epsilons":[0.1]}"#, "≥ 3"),
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[0.5],"epsilons":[0.1]}"#, "betas"),
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[1.5]}"#, "epsilons"),
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1],"reps":0}"#, "reps"),
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1],"threads":[0]}"#, "threads"),
+        ] {
+            let e = SweepSpec::parse(bad).unwrap_err();
+            assert!(e.contains(needle), "{bad} -> {e}");
+        }
+    }
+
+    #[test]
+    fn graph_specs_build_with_matching_labels() {
+        let w = GraphSpec::CliqueRing { beta: 4, k: 8 }.build();
+        assert_eq!(w.name, "clique-ring(beta=4,k=8)");
+        assert_eq!(w.graph.n(), 32);
+        let w = GraphSpec::Expander { n: 32, d: 4, seed: 1 }.build();
+        assert_eq!(w.name, "expander(n=32,d=4)");
+        assert_eq!(w.graph.n(), 32);
+    }
+
+    #[test]
+    fn weighting_labels_and_apply() {
+        assert_eq!(Weighting::Unit.label(), "unit");
+        assert_eq!(Weighting::Uniform(2.0).label(), "uniform(2)");
+        let g = gen::complete(8);
+        match Weighting::Uniform(2.0).apply(g.clone()) {
+            AnyGraph::Weighted(_) => {}
+            AnyGraph::Unweighted(_) => panic!("uniform must weight the graph"),
+        }
+        match Weighting::Unit.apply(g) {
+            AnyGraph::Unweighted(_) => {}
+            AnyGraph::Weighted(_) => panic!("unit must stay unweighted"),
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The sweep runner: execute every cell of a [`SweepSpec`] and produce one
+//! [`BenchRecord`].
+//!
+//! Per cell, the runner builds the graph, decorates it with the cell's
+//! weighting, pins `LMT_THREADS` to the cell's pool width (restoring the
+//! prior value afterwards — the rayon shim reads the variable on every
+//! dispatch, so mid-process pinning takes effect immediately), computes
+//! `τ_s(β,ε)` once for the record, then wall-clocks `reps` repetitions and
+//! stores the median/min/max.
+//!
+//! Dense-reference cells are cross-checked: the engine computes τ first
+//! (its no-witness path is non-panicking), the dense path is only timed
+//! when a witness exists, and the two τ values are asserted equal — the
+//! record's τ column is simultaneously a correctness regression net.
+
+use lmt_graph::props::bipartition;
+use lmt_walks::local::{FlatPolicy, LocalMixOptions, SizeGrid};
+use lmt_walks::WalkKind;
+
+use crate::record::{BenchRecord, Cell};
+use crate::spec::{AnyGraph, EngineChoice, SweepSpec};
+use crate::{dense_reference, timing};
+
+/// Pin `LMT_THREADS` for the guard's lifetime, restoring the prior value
+/// (or its absence) on drop.
+struct ThreadsGuard(Option<std::ffi::OsString>);
+
+impl ThreadsGuard {
+    fn pin(width: usize) -> ThreadsGuard {
+        let prior = std::env::var_os("LMT_THREADS");
+        std::env::set_var("LMT_THREADS", width.to_string());
+        ThreadsGuard(prior)
+    }
+}
+
+impl Drop for ThreadsGuard {
+    fn drop(&mut self) {
+        match self.0.take() {
+            Some(prior) => std::env::set_var("LMT_THREADS", prior),
+            None => std::env::remove_var("LMT_THREADS"),
+        }
+    }
+}
+
+fn engine_tau(g: &AnyGraph, src: usize, opts: &LocalMixOptions) -> Option<u64> {
+    match g {
+        AnyGraph::Unweighted(g) => lmt_walks::local::local_mixing_time(g, src, opts),
+        AnyGraph::Weighted(g) => lmt_walks::local::local_mixing_time(g, src, opts),
+    }
+    .ok()
+    .map(|r| r.tau as u64)
+}
+
+fn dense_tau(g: &AnyGraph, src: usize, opts: &LocalMixOptions) -> u64 {
+    (match g {
+        AnyGraph::Unweighted(g) => dense_reference::local_mixing_time(g, src, opts),
+        AnyGraph::Weighted(g) => dense_reference::local_mixing_time(g, src, opts),
+    }) as u64
+}
+
+/// Run every cell of `spec` and return the record (cells in spec order:
+/// graphs × weightings × betas × epsilons × engines × threads).
+pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
+    let mut record = BenchRecord::new(spec.tag.clone());
+    record.cells.reserve(spec.cell_count());
+
+    for graph_spec in &spec.graphs {
+        let workload = graph_spec.build();
+        // Walk kind depends only on the topology: lazy iff bipartite.
+        let kind = if bipartition(&workload.graph).is_some() {
+            WalkKind::Lazy
+        } else {
+            WalkKind::Simple
+        };
+        for weighting in &spec.weightings {
+            let g = weighting.apply(workload.graph.clone());
+            for &beta in &spec.betas {
+                for &eps in &spec.epsilons {
+                    let mut opts = LocalMixOptions::new(beta);
+                    opts.eps = eps;
+                    opts.grid = SizeGrid::Geometric;
+                    opts.kind = kind;
+                    opts.max_t = spec.max_t;
+                    // Paths and weighted decorations are not regular; use
+                    // the paper's loose flat treatment (as `oracle_tau`).
+                    opts.flat_policy = FlatPolicy::AssumeFlat;
+
+                    for &engine in &spec.engines {
+                        for &width in &spec.threads {
+                            let _pin = ThreadsGuard::pin(width);
+                            let tau = engine_tau(&g, workload.source, &opts);
+                            let timing = match (engine, tau) {
+                                (EngineChoice::Engine, _) => {
+                                    Some(timing::time_reps_ms(spec.reps, || {
+                                        engine_tau(&g, workload.source, &opts);
+                                    }))
+                                }
+                                (EngineChoice::Dense, Some(tau)) => {
+                                    let dense = dense_tau(&g, workload.source, &opts);
+                                    assert_eq!(
+                                        dense, tau,
+                                        "dense/engine τ disagree on {} — bit-compat broken",
+                                        workload.name
+                                    );
+                                    Some(timing::time_reps_ms(spec.reps, || {
+                                        dense_tau(&g, workload.source, &opts);
+                                    }))
+                                }
+                                (EngineChoice::Dense, None) => {
+                                    // The dense reference panics on a missed
+                                    // cap; record the cell untimed instead.
+                                    eprintln!(
+                                        "warning: {}: no witness within max_t={}, dense cell untimed",
+                                        workload.name, spec.max_t
+                                    );
+                                    None
+                                }
+                            };
+                            record.cells.push(Cell {
+                                scenario: format!(
+                                    "g={}|w={}|beta={beta}|eps={eps}|engine={}|threads={width}",
+                                    workload.name,
+                                    weighting.label(),
+                                    engine.label(),
+                                ),
+                                graph: workload.name.clone(),
+                                weighting: weighting.label(),
+                                beta,
+                                eps,
+                                engine: engine.label().to_string(),
+                                threads: width,
+                                tau,
+                                timing: timing.as_deref().and_then(timing::summarize),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    record
+}
+
+/// Render a record's cells as the repo's standard table (what `bench_sweep`
+/// prints after a run).
+pub fn render_table(record: &BenchRecord) -> String {
+    let mut t = lmt_util::table::Table::new(
+        format!("sweep {} ({} cells)", record.tag, record.cells.len()),
+        &["graph", "w", "β", "ε", "engine", "thr", "τ", "median ms", "min..max"],
+    );
+    for c in &record.cells {
+        t.row(&[
+            c.graph.clone(),
+            c.weighting.clone(),
+            format!("{}", c.beta),
+            format!("{:.4}", c.eps),
+            c.engine.clone(),
+            c.threads.to_string(),
+            crate::fmt_opt(c.tau),
+            c.timing
+                .map_or("-".into(), |s| format!("{:.3}", s.median_ms)),
+            c.timing
+                .map_or("-".into(), |s| format!("{:.3}..{:.3}", s.min_ms, s.max_ms)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{GraphSpec, Weighting};
+
+    fn tiny_spec() -> SweepSpec {
+        SweepSpec {
+            tag: "unit-e2e".into(),
+            reps: 2,
+            max_t: 10_000,
+            graphs: vec![
+                GraphSpec::Complete { n: 16 },
+                GraphSpec::CliqueRing { beta: 4, k: 8 },
+            ],
+            weightings: vec![Weighting::Unit, Weighting::Uniform(2.0)],
+            betas: vec![4.0],
+            epsilons: vec![crate::EPS],
+            engines: vec![EngineChoice::Engine, EngineChoice::Dense],
+            threads: vec![1],
+        }
+    }
+
+    #[test]
+    fn end_to_end_tiny_sweep() {
+        let spec = tiny_spec();
+        let record = run_sweep(&spec);
+        assert_eq!(record.cells.len(), spec.cell_count());
+        assert_eq!(record.tag, "unit-e2e");
+
+        // Every cell measured: witness found, timing recorded, engine/dense
+        // agree on τ within each (graph, weighting) pair.
+        for cell in &record.cells {
+            assert!(cell.tau.is_some(), "{} missed its witness", cell.scenario);
+            let t = cell.timing.expect("timed");
+            assert_eq!(t.reps, spec.reps);
+            assert!(t.min_ms <= t.median_ms && t.median_ms <= t.max_ms);
+        }
+        for pair in record.cells.chunks(2) {
+            assert_eq!(
+                pair[0].tau, pair[1].tau,
+                "engine/dense disagree: {} vs {}",
+                pair[0].scenario, pair[1].scenario
+            );
+        }
+
+        // Scenario keys are unique (the diff tool matches on them).
+        let mut keys: Vec<&str> = record.cells.iter().map(|c| c.scenario.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), record.cells.len());
+
+        // Weighted uniform cells agree with their unweighted twins (the
+        // WalkGraph seam's bit-compat contract, surfaced in the record).
+        let tau_of = |w: &str, e: &str| {
+            record
+                .cells
+                .iter()
+                .find(|c| c.graph.starts_with("complete") && c.weighting == w && c.engine == e)
+                .unwrap()
+                .tau
+        };
+        assert_eq!(tau_of("unit", "engine"), tau_of("uniform(2)", "engine"));
+
+        // The record round-trips through the JSON layer.
+        let text = record.to_json().render();
+        assert_eq!(crate::record::BenchRecord::parse(&text).unwrap(), record);
+
+        // And renders as a table without panicking.
+        assert!(render_table(&record).contains("complete(n=16)"));
+    }
+
+    #[test]
+    fn threads_guard_restores_prior_value() {
+        // Serialize against other tests touching the variable via the
+        // guard itself: pin an outer value first.
+        let _outer = ThreadsGuard::pin(1);
+        {
+            let _inner = ThreadsGuard::pin(2);
+            assert_eq!(std::env::var("LMT_THREADS").unwrap(), "2");
+        }
+        assert_eq!(std::env::var("LMT_THREADS").unwrap(), "1");
+    }
+
+    #[test]
+    fn unreachable_tau_records_null_and_untimed_dense() {
+        // ε so small the path never flattens within the cap.
+        let spec = SweepSpec {
+            tag: "unreached".into(),
+            reps: 1,
+            max_t: 4,
+            graphs: vec![GraphSpec::Path { n: 16 }],
+            weightings: vec![Weighting::Unit],
+            betas: vec![2.0],
+            epsilons: vec![0.001],
+            engines: vec![EngineChoice::Engine, EngineChoice::Dense],
+            threads: vec![1],
+        };
+        let record = run_sweep(&spec);
+        assert_eq!(record.cells.len(), 2);
+        assert_eq!(record.cells[0].tau, None);
+        // Engine cells still time the (failed) search; dense cells must
+        // not run at all (the reference panics on a missed cap).
+        assert!(record.cells[0].timing.is_some());
+        assert_eq!(record.cells[1].tau, None);
+        assert!(record.cells[1].timing.is_none());
+    }
+}

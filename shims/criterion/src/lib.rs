@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the slice of criterion 0.5's API that the `crates/bench/benches/*`
+//! targets use: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Fidelity notes:
+//!
+//! * **Measurement model.** Each benchmark runs one untimed warm-up
+//!   iteration, then `sample_size` timed iterations (default 10 — real
+//!   criterion defaults to 100 and runs many iterations per sample with
+//!   outlier analysis; this shim is a plain mean over single-iteration
+//!   samples). Mean, min, and max wall-clock per iteration are printed as
+//!   one line per benchmark — these lines are what EXPERIMENTS.md tables
+//!   record.
+//! * **No reports.** Nothing is written to `target/criterion/`; output is
+//!   stdout only.
+//! * **CLI.** Arguments cargo passes to bench binaries (`--bench`, filter
+//!   strings) are accepted and ignored; every registered benchmark runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a computed value (re-export of
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: a function name, an optional parameter, or both,
+/// rendered as `function/parameter` like upstream criterion's report paths.
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name plus a parameter rendered via [`Display`].
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from a bare parameter (used inside a group whose name carries the
+    /// function context).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { repr: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { repr: s }
+    }
+}
+
+/// Timer handed to benchmark closures; [`Bencher::iter`] records one
+/// wall-clock sample per timed iteration.
+pub struct Bencher {
+    sample_size: usize,
+    /// Per-iteration wall-clock samples, seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Run `f` once untimed (warm-up), then `sample_size` timed iterations.
+    /// The return value is passed through [`black_box`] so the computation
+    /// is not optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Render seconds with a human unit (s/ms/µs/ns), 3 significant digits.
+fn fmt_time(secs: f64) -> String {
+    let (v, unit) = if secs >= 1.0 {
+        (secs, "s")
+    } else if secs >= 1e-3 {
+        (secs * 1e3, "ms")
+    } else if secs >= 1e-6 {
+        (secs * 1e6, "µs")
+    } else {
+        (secs * 1e9, "ns")
+    };
+    if v >= 100.0 {
+        format!("{v:.0} {unit}")
+    } else if v >= 10.0 {
+        format!("{v:.1} {unit}")
+    } else {
+        format!("{v:.2} {unit}")
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run(&mut self, id: BenchmarkId, body: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        body(&mut b);
+        assert!(
+            !b.samples.is_empty(),
+            "benchmark {}/{} never called Bencher::iter",
+            self.name,
+            id.repr
+        );
+        let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+        let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{}/{}: mean {} (min {}, max {}, {} samples)",
+            self.name,
+            id.repr,
+            fmt_time(mean),
+            fmt_time(min),
+            fmt_time(max),
+            b.samples.len()
+        );
+    }
+
+    /// Measure a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run(id.into(), f);
+        self
+    }
+
+    /// Measure a closure over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run(id.into(), |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints as it
+    /// goes, so this is a no-op consuming the group).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver (the `c` in `fn bench(c: &mut Criterion)`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group; benchmarks registered on it print as
+    /// `group/id: mean …` lines.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Measure a single closure outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        // Avoid the doubled `id/id` path upstream prints for bare functions.
+        group.run(BenchmarkId { repr: String::new() }, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one name, like upstream
+/// `criterion_group!`. Only the simple `(name, target, ...)` form is
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups, like upstream
+/// `criterion_main!`. Arguments cargo passes to the bench binary are
+/// ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // 1 warm-up + 3 timed.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let input = 21usize;
+        let mut seen = 0usize;
+        g.bench_with_input(BenchmarkId::new("f", input), &input, |b, &i| {
+            b.iter(|| seen = i * 2)
+        });
+        g.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_upstream() {
+        assert_eq!(BenchmarkId::new("f", 8).repr, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("n=4").repr, "n=4");
+        assert_eq!(BenchmarkId::from("plain").repr, "plain");
+    }
+
+    #[test]
+    fn fmt_time_units() {
+        assert_eq!(fmt_time(2.0), "2.00 s");
+        assert_eq!(fmt_time(4.31e-3), "4.31 ms");
+        assert_eq!(fmt_time(278e-6), "278 µs");
+        assert_eq!(fmt_time(5e-9), "5.00 ns");
+    }
+
+    criterion_group!(demo_group, demo_bench);
+
+    fn demo_bench(c: &mut Criterion) {
+        c.benchmark_group("demo")
+            .sample_size(1)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macro_group_is_callable() {
+        let mut c = Criterion::default();
+        demo_group(&mut c);
+    }
+}
