@@ -67,6 +67,7 @@ impl Ab<'_> {
                 beta,
                 eps: EPS,
                 engine: impl_label.to_string(),
+                fault: "none".to_string(),
                 threads,
                 tau: Some(tau),
                 timing: summarize(&times),

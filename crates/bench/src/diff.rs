@@ -242,6 +242,7 @@ mod tests {
             beta: 4.0,
             eps: 0.046,
             engine: "engine".into(),
+            fault: "none".into(),
             threads: 1,
             tau,
             timing: Some(TimingSummary {

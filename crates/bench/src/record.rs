@@ -31,8 +31,12 @@ pub struct Cell {
     pub beta: f64,
     /// Accuracy parameter ε.
     pub eps: f64,
-    /// Which τ implementation ran: `engine` or `dense`.
+    /// Which measurement ran: `engine`, `dense`, `elect` or `spread`.
     pub engine: String,
+    /// Fault-plan label (`"none"` when fault-free). Records written before
+    /// the fault dimension existed omit the key; it reads back as
+    /// `"none"`, which is exactly what those runs were.
+    pub fault: String,
     /// Pool width (`LMT_THREADS`) the cell ran at.
     pub threads: usize,
     /// Measured `τ_s(β,ε)`; `None` (JSON `null`) when no witness appeared
@@ -103,6 +107,7 @@ impl Cell {
             ("beta", Json::from(self.beta)),
             ("eps", Json::from(self.eps)),
             ("engine", Json::from(self.engine.as_str())),
+            ("fault", Json::from(self.fault.as_str())),
             ("threads", Json::from(self.threads)),
             ("tau", Json::from(self.tau)),
             (
@@ -132,6 +137,14 @@ impl Cell {
             beta: num_field("beta")?,
             eps: num_field("eps")?,
             engine: str_field("engine")?,
+            fault: v
+                .get("fault")
+                .map(|f| {
+                    f.as_str()
+                        .map(str::to_string)
+                        .ok_or("cell: mistyped \"fault\" (string)".to_string())
+                })
+                .unwrap_or_else(|| Ok("none".into()))?,
             threads: v
                 .get("threads")
                 .and_then(Json::as_usize)
@@ -292,6 +305,7 @@ mod tests {
                     beta: 4.0,
                     eps: 0.046,
                     engine: "engine".into(),
+                    fault: "none".into(),
                     threads: 1,
                     tau: Some(1),
                     timing: Some(TimingSummary {
@@ -309,6 +323,7 @@ mod tests {
                     beta: 2.0,
                     eps: 0.01,
                     engine: "dense".into(),
+                    fault: "drop(p=0.2,seed=7)".into(),
                     threads: 2,
                     tau: None,
                     timing: None,
@@ -333,6 +348,21 @@ mod tests {
     fn absent_tau_is_null() {
         let text = sample().to_json().render();
         assert!(text.contains("\"tau\": null"));
+    }
+
+    #[test]
+    fn missing_fault_field_reads_as_none() {
+        // Pre-fault-dimension records (the committed golden BENCH_tiny.json
+        // among them) have no "fault" key; they must keep parsing.
+        let text = sample().to_json().render();
+        let stripped = text
+            .lines()
+            .filter(|l| !l.contains("\"fault\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(text, stripped, "sample must serialize the field");
+        let r = BenchRecord::parse(&stripped).unwrap();
+        assert!(r.cells.iter().all(|c| c.fault == "none"));
     }
 
     #[test]

@@ -1,19 +1,29 @@
-//! Declarative scenario-sweep specs: the 5-dimensional experiment space as
-//! a committed JSON file.
+//! Declarative scenario-sweep specs: the experiment space as a committed
+//! JSON file.
 //!
 //! A spec names a point set in **graph family × weighting × (β,ε) grid ×
-//! engine × pool width**; the runner ([`crate::sweep`]) executes every cell
-//! of the cross product and emits one `BENCH_<tag>.json` record. Committed
-//! specs live under `specs/` (see EXPERIMENTS.md for the format reference
-//! and `specs/tiny.json` for the CI example).
+//! fault plan × engine × pool width**; the runner ([`crate::sweep`])
+//! executes every cell of the cross product and emits one
+//! `BENCH_<tag>.json` record. Committed specs live under `specs/` (see
+//! EXPERIMENTS.md for the format reference, `specs/tiny.json` for the CI
+//! example, and `specs/faults_tiny.json` for the fault-dimension example).
 //!
 //! The parser is strict: unknown keys anywhere in the spec are errors, so a
-//! typo'd dimension name cannot silently shrink a sweep.
+//! typo'd dimension name cannot silently shrink a sweep. Cross-dimension
+//! constraints are also enforced at parse time: application engines
+//! (`elect`, `spread`) run on unit-weighted graphs only, and non-trivial
+//! faults only make sense for application engines (the τ engines have no
+//! fault hook — a faulty τ cell would silently measure nothing).
 
+use lmt_congest::fault::FaultPlan;
 use lmt_graph::gen::{self, Workload};
 use lmt_graph::{Graph, WeightedGraph};
 
 use crate::json::Json;
+
+/// Gossip/application seed for fault-free (`"none"`) cells; faulty cells
+/// reuse their fault seed so one number pins the whole cell.
+pub const APP_SEED: u64 = 0x1517;
 
 /// A parsed sweep spec (see module docs for the file format).
 #[derive(Debug, Clone, PartialEq)]
@@ -32,7 +42,9 @@ pub struct SweepSpec {
     pub betas: Vec<f64>,
     /// ε half of the (β,ε) grid.
     pub epsilons: Vec<f64>,
-    /// Engine dimension (which τ implementation runs the cell).
+    /// Fault-plan dimension (defaults to the single trivial plan).
+    pub faults: Vec<FaultSpec>,
+    /// Engine dimension (which measurement runs the cell).
     pub engines: Vec<EngineChoice>,
     /// `LMT_THREADS` pool-width dimension.
     pub threads: Vec<usize>,
@@ -72,6 +84,73 @@ pub enum GraphSpec {
         /// Clique size.
         k: usize,
     },
+    /// `gen::barbell(beta, k)` — the paper's Figure 1 path-of-cliques.
+    Barbell {
+        /// Number of cliques (≥ 2).
+        beta: usize,
+        /// Clique size (≥ 3).
+        k: usize,
+    },
+}
+
+/// One fault plan in the fault dimension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSpec {
+    /// No faults (the default dimension value).
+    None,
+    /// Per-message/per-direction drops with probability `p`.
+    Drop {
+        /// Drop probability in `(0, 1]`.
+        p: f64,
+        /// Plan seed (also the cell's application seed).
+        seed: u64,
+    },
+    /// `count` nodes (picked by the plan seed) crash at `round`.
+    Crash {
+        /// How many nodes crash.
+        count: usize,
+        /// The crash round (0 = before any exchange).
+        round: u64,
+        /// Plan seed (also the cell's application seed).
+        seed: u64,
+    },
+}
+
+impl FaultSpec {
+    /// Display label used in scenario keys (`"none"` for the trivial plan;
+    /// fault-free scenario keys omit the fault segment entirely so
+    /// pre-fault-dimension records keep matching).
+    pub fn label(&self) -> String {
+        match self {
+            FaultSpec::None => "none".into(),
+            FaultSpec::Drop { p, seed } => format!("drop(p={p},seed={seed})"),
+            FaultSpec::Crash { count, round, seed } => {
+                format!("crash(count={count},round={round},seed={seed})")
+            }
+        }
+    }
+
+    /// Build the plan for an `n`-node cell (`None` for the trivial spec —
+    /// the substrate treats a trivial plan and no plan bit-identically, so
+    /// this is a plain fast path, not a semantic difference).
+    pub fn plan(&self, n: usize) -> Option<FaultPlan> {
+        match *self {
+            FaultSpec::None => None,
+            FaultSpec::Drop { p, seed } => Some(FaultPlan::new(n, seed).with_drop_prob(p)),
+            FaultSpec::Crash { count, round, seed } => {
+                Some(FaultPlan::new(n, seed).with_random_crashes(count, round))
+            }
+        }
+    }
+
+    /// The cell's application seed: the plan's seed, or [`APP_SEED`] for
+    /// fault-free cells.
+    pub fn seed(&self) -> u64 {
+        match *self {
+            FaultSpec::None => APP_SEED,
+            FaultSpec::Drop { seed, .. } | FaultSpec::Crash { seed, .. } => seed,
+        }
+    }
 }
 
 /// Weight decoration applied to a graph-family topology.
@@ -92,13 +171,18 @@ pub enum Weighting {
     },
 }
 
-/// Which τ implementation a cell measures.
+/// What measurement a cell runs: a τ implementation, or a gossip
+/// application whose completion-round count lands in the τ column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineChoice {
     /// The frontier-sparse evolution engine (`lmt_walks::engine`).
     Engine,
     /// The pre-engine dense reference ([`crate::dense_reference`]).
     Dense,
+    /// Gossip leader election (rounds to live agreement).
+    Elect,
+    /// Gossip full information spreading (rounds to live completion).
+    Spread,
 }
 
 /// A built cell substrate: the topology's weighted/unweighted variant.
@@ -126,6 +210,11 @@ impl GraphSpec {
             GraphSpec::CliqueRing { beta, k } => Workload::new(
                 format!("clique-ring(beta={beta},k={k})"),
                 gen::ring_of_cliques_regular(beta, k).0,
+                0,
+            ),
+            GraphSpec::Barbell { beta, k } => Workload::new(
+                format!("barbell(beta={beta},k={k})"),
+                gen::barbell(beta, k).0,
                 0,
             ),
         }
@@ -162,7 +251,14 @@ impl EngineChoice {
         match self {
             EngineChoice::Engine => "engine",
             EngineChoice::Dense => "dense",
+            EngineChoice::Elect => "elect",
+            EngineChoice::Spread => "spread",
         }
+    }
+
+    /// True for the gossip-application engines (vs the τ implementations).
+    pub fn is_app(&self) -> bool {
+        matches!(self, EngineChoice::Elect | EngineChoice::Spread)
     }
 }
 
@@ -241,9 +337,67 @@ fn parse_graph(v: &Json) -> Result<GraphSpec, String> {
             }
             Ok(GraphSpec::CliqueRing { beta, k })
         }
+        "barbell" => {
+            reject_unknown_keys(v, &["family", "beta", "k"], &what)?;
+            let beta = usize_field(v, "beta", &what)?;
+            let k = usize_field(v, "k", &what)?;
+            if beta < 2 {
+                return Err(format!("{what}: beta must be ≥ 2 (a path of cliques)"));
+            }
+            if k < 3 {
+                return Err(format!("{what}: k must be ≥ 3 (ports must be distinct)"));
+            }
+            Ok(GraphSpec::Barbell { beta, k })
+        }
         other => Err(format!(
-            "graph: unknown family {other:?} (complete, path, cycle, expander, clique_ring)"
+            "graph: unknown family {other:?} (complete, path, cycle, expander, clique_ring, barbell)"
         )),
+    }
+}
+
+fn parse_fault(v: &Json) -> Result<FaultSpec, String> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "none" => Ok(FaultSpec::None),
+            other => Err(format!(
+                "faults: unknown shorthand {other:?} (only \"none\"; use an object otherwise)"
+            )),
+        };
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("faults: must be \"none\" or an object with a \"kind\"")?;
+    let what = format!("fault {kind:?}");
+    match kind {
+        "none" => {
+            reject_unknown_keys(v, &["kind"], &what)?;
+            Ok(FaultSpec::None)
+        }
+        "drop" => {
+            reject_unknown_keys(v, &["kind", "p", "seed"], &what)?;
+            let p = f64_field(v, "p", &what)?;
+            if p.is_nan() || p <= 0.0 || p > 1.0 {
+                return Err(format!("{what}: need 0 < p ≤ 1 (p = 0 is \"none\")"));
+            }
+            Ok(FaultSpec::Drop {
+                p,
+                seed: usize_field(v, "seed", &what)? as u64,
+            })
+        }
+        "crash" => {
+            reject_unknown_keys(v, &["kind", "count", "round", "seed"], &what)?;
+            let count = usize_field(v, "count", &what)?;
+            if count == 0 {
+                return Err(format!("{what}: count must be ≥ 1 (count = 0 is \"none\")"));
+            }
+            Ok(FaultSpec::Crash {
+                count,
+                round: usize_field(v, "round", &what)? as u64,
+                seed: usize_field(v, "seed", &what)? as u64,
+            })
+        }
+        other => Err(format!("faults: unknown kind {other:?} (none, drop, crash)")),
     }
 }
 
@@ -297,7 +451,9 @@ fn parse_engine(v: &Json) -> Result<EngineChoice, String> {
     match v.as_str() {
         Some("engine") => Ok(EngineChoice::Engine),
         Some("dense") => Ok(EngineChoice::Dense),
-        _ => Err("engines: entries must be \"engine\" or \"dense\"".into()),
+        Some("elect") => Ok(EngineChoice::Elect),
+        Some("spread") => Ok(EngineChoice::Spread),
+        _ => Err("engines: entries must be \"engine\", \"dense\", \"elect\" or \"spread\"".into()),
     }
 }
 
@@ -326,6 +482,7 @@ impl SweepSpec {
                 "weightings",
                 "betas",
                 "epsilons",
+                "faults",
                 "engines",
                 "threads",
             ],
@@ -386,13 +543,34 @@ impl SweepSpec {
                     .ok_or("spec: \"epsilons\" entries must be numbers in (0,1)")
             })
             .collect::<Result<Vec<_>, _>>()?;
-        let engines = match v.get("engines") {
+        let faults = match v.get("faults") {
+            None => vec![FaultSpec::None],
+            Some(_) => non_empty_arr(&v, "faults")?
+                .iter()
+                .map(parse_fault)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let engines: Vec<EngineChoice> = match v.get("engines") {
             None => vec![EngineChoice::Engine],
             Some(_) => non_empty_arr(&v, "engines")?
                 .iter()
                 .map(parse_engine)
                 .collect::<Result<_, _>>()?,
         };
+        if engines.iter().any(EngineChoice::is_app)
+            && weightings.iter().any(|w| *w != Weighting::Unit)
+        {
+            return Err(
+                "spec: application engines (elect, spread) run on unit weighting only".into(),
+            );
+        }
+        if faults.iter().any(|f| *f != FaultSpec::None)
+            && engines.iter().any(|e| !e.is_app())
+        {
+            return Err("spec: non-trivial faults need application engines (elect, spread) — \
+                        the τ engines have no fault hook"
+                .into());
+        }
         let threads = match v.get("threads") {
             None => vec![1],
             Some(_) => non_empty_arr(&v, "threads")?
@@ -413,6 +591,7 @@ impl SweepSpec {
             weightings,
             betas,
             epsilons,
+            faults,
             engines,
             threads,
         })
@@ -424,6 +603,7 @@ impl SweepSpec {
             * self.weightings.len()
             * self.betas.len()
             * self.epsilons.len()
+            * self.faults.len()
             * self.engines.len()
             * self.threads.len()
     }
@@ -471,8 +651,65 @@ mod tests {
         assert_eq!(s.reps, 3);
         assert_eq!(s.max_t, 1 << 20);
         assert_eq!(s.weightings, [Weighting::Unit]);
+        assert_eq!(s.faults, [FaultSpec::None]);
         assert_eq!(s.engines, [EngineChoice::Engine]);
         assert_eq!(s.threads, [1]);
+    }
+
+    #[test]
+    fn parses_fault_dimension_with_app_engines() {
+        let s = SweepSpec::parse(
+            r#"{"tag": "f", "graphs": [{"family": "barbell", "beta": 4, "k": 8}],
+                "betas": [4], "epsilons": [0.1],
+                "faults": ["none",
+                           {"kind": "drop", "p": 0.2, "seed": 7},
+                           {"kind": "crash", "count": 2, "round": 0, "seed": 7}],
+                "engines": ["elect", "spread"]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.faults,
+            [
+                FaultSpec::None,
+                FaultSpec::Drop { p: 0.2, seed: 7 },
+                FaultSpec::Crash { count: 2, round: 0, seed: 7 },
+            ]
+        );
+        assert_eq!(s.engines, [EngineChoice::Elect, EngineChoice::Spread]);
+        // graphs × weightings × betas × epsilons × faults × engines × threads
+        assert_eq!(s.cell_count(), 3 * 2);
+        assert_eq!(s.faults[1].label(), "drop(p=0.2,seed=7)");
+        assert_eq!(s.faults[2].label(), "crash(count=2,round=0,seed=7)");
+        assert_eq!(s.faults[0].seed(), APP_SEED);
+        assert_eq!(s.faults[1].seed(), 7);
+        assert!(s.faults[0].plan(8).is_none());
+        let plan = s.faults[2].plan(8).unwrap();
+        assert_eq!(plan.crashed_count_by(0), 2);
+    }
+
+    #[test]
+    fn rejects_cross_dimension_misuse() {
+        for (bad, needle) in [
+            // App engines demand unit weighting.
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "weightings":[{"kind":"uniform","w":2}],"engines":["elect"]}"#, "unit weighting"),
+            // Non-trivial faults demand app engines.
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "faults":[{"kind":"drop","p":0.5,"seed":1}],"engines":["engine","elect"]}"#, "fault hook"),
+            // Degenerate fault values are spelled "none", not 0.
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "faults":[{"kind":"drop","p":0.0,"seed":1}],"engines":["elect"]}"#, "0 < p"),
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "faults":[{"kind":"crash","count":0,"round":0,"seed":1}],"engines":["elect"]}"#, "count"),
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "faults":[{"kind":"drop","p":0.5,"seed":1,"x":2}],"engines":["elect"]}"#, "\"x\""),
+            // Barbell bounds.
+            (r#"{"tag":"t","graphs":[{"family":"barbell","beta":1,"k":8}],"betas":[2],"epsilons":[0.1]}"#, "≥ 2"),
+            (r#"{"tag":"t","graphs":[{"family":"barbell","beta":2,"k":2}],"betas":[2],"epsilons":[0.1]}"#, "≥ 3"),
+        ] {
+            let e = SweepSpec::parse(bad).unwrap_err();
+            assert!(e.contains(needle), "{bad} -> {e}");
+        }
     }
 
     #[test]
@@ -511,6 +748,9 @@ mod tests {
         assert_eq!(w.graph.n(), 32);
         let w = GraphSpec::Expander { n: 32, d: 4, seed: 1 }.build();
         assert_eq!(w.name, "expander(n=32,d=4)");
+        assert_eq!(w.graph.n(), 32);
+        let w = GraphSpec::Barbell { beta: 4, k: 8 }.build();
+        assert_eq!(w.name, "barbell(beta=4,k=8)");
         assert_eq!(w.graph.n(), 32);
     }
 

@@ -12,13 +12,24 @@
 //! (its no-witness path is non-panicking), the dense path is only timed
 //! when a witness exists, and the two τ values are asserted equal — the
 //! record's τ column is simultaneously a correctness regression net.
+//!
+//! Application cells (`elect`, `spread`) run the gossip applications under
+//! the cell's fault plan and store **completion rounds** in the τ column
+//! (`null` = the cap was exhausted — under faults a legitimate outcome,
+//! not an error). Fault-free cells keep the pre-fault-dimension scenario
+//! keys (no `|fault=` segment), so existing golden records still match.
 
+use lmt_gossip::apps::{
+    elect_leader, elect_leader_faulty, rounds_to_full_spread, rounds_to_full_spread_faulty,
+};
+use lmt_gossip::GossipMode;
 use lmt_graph::props::bipartition;
+use lmt_graph::Graph;
 use lmt_walks::local::{FlatPolicy, LocalMixOptions, SizeGrid};
 use lmt_walks::WalkKind;
 
 use crate::record::{BenchRecord, Cell};
-use crate::spec::{AnyGraph, EngineChoice, SweepSpec};
+use crate::spec::{AnyGraph, EngineChoice, FaultSpec, SweepSpec};
 use crate::{dense_reference, timing};
 
 /// Pin `LMT_THREADS` for the guard's lifetime, restoring the prior value
@@ -58,8 +69,25 @@ fn dense_tau(g: &AnyGraph, src: usize, opts: &LocalMixOptions) -> u64 {
     }) as u64
 }
 
+/// Completion rounds of an application cell (`None` = cap exhausted).
+fn app_rounds(engine: EngineChoice, g: &Graph, fault: &FaultSpec, cap: u64) -> Option<u64> {
+    let seed = fault.seed();
+    let mode = GossipMode::Local;
+    match (engine, fault.plan(g.n())) {
+        (EngineChoice::Elect, None) => elect_leader(g, mode, seed, cap).map(|(_, r)| r),
+        (EngineChoice::Elect, Some(plan)) => {
+            elect_leader_faulty(g, mode, seed, cap, plan).map(|(_, r)| r)
+        }
+        (EngineChoice::Spread, None) => rounds_to_full_spread(g, mode, seed, cap),
+        (EngineChoice::Spread, Some(plan)) => {
+            rounds_to_full_spread_faulty(g, mode, seed, cap, plan)
+        }
+        _ => unreachable!("app_rounds called for a τ engine"),
+    }
+}
+
 /// Run every cell of `spec` and return the record (cells in spec order:
-/// graphs × weightings × betas × epsilons × engines × threads).
+/// graphs × weightings × betas × epsilons × faults × engines × threads).
 pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
     let mut record = BenchRecord::new(spec.tag.clone());
     record.cells.reserve(spec.cell_count());
@@ -85,53 +113,82 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                     // the paper's loose flat treatment (as `oracle_tau`).
                     opts.flat_policy = FlatPolicy::AssumeFlat;
 
-                    for &engine in &spec.engines {
-                        for &width in &spec.threads {
-                            let _pin = ThreadsGuard::pin(width);
-                            let tau = engine_tau(&g, workload.source, &opts);
-                            let timing = match (engine, tau) {
-                                (EngineChoice::Engine, _) => {
-                                    Some(timing::time_reps_ms(spec.reps, || {
-                                        engine_tau(&g, workload.source, &opts);
-                                    }))
-                                }
-                                (EngineChoice::Dense, Some(tau)) => {
-                                    let dense = dense_tau(&g, workload.source, &opts);
-                                    assert_eq!(
-                                        dense, tau,
-                                        "dense/engine τ disagree on {} — bit-compat broken",
-                                        workload.name
-                                    );
-                                    Some(timing::time_reps_ms(spec.reps, || {
-                                        dense_tau(&g, workload.source, &opts);
-                                    }))
-                                }
-                                (EngineChoice::Dense, None) => {
-                                    // The dense reference panics on a missed
-                                    // cap; record the cell untimed instead.
-                                    eprintln!(
-                                        "warning: {}: no witness within max_t={}, dense cell untimed",
-                                        workload.name, spec.max_t
-                                    );
-                                    None
-                                }
-                            };
-                            record.cells.push(Cell {
-                                scenario: format!(
-                                    "g={}|w={}|beta={beta}|eps={eps}|engine={}|threads={width}",
-                                    workload.name,
-                                    weighting.label(),
-                                    engine.label(),
-                                ),
-                                graph: workload.name.clone(),
-                                weighting: weighting.label(),
-                                beta,
-                                eps,
-                                engine: engine.label().to_string(),
-                                threads: width,
-                                tau,
-                                timing: timing.as_deref().and_then(timing::summarize),
-                            });
+                    for fault in &spec.faults {
+                        for &engine in &spec.engines {
+                            for &width in &spec.threads {
+                                let _pin = ThreadsGuard::pin(width);
+                                let (tau, timing) = if engine.is_app() {
+                                    let topo = match &g {
+                                        AnyGraph::Unweighted(g) => g,
+                                        AnyGraph::Weighted(_) => unreachable!(
+                                            "spec parse enforces unit weighting for app engines"
+                                        ),
+                                    };
+                                    let cap = spec.max_t as u64;
+                                    let tau = app_rounds(engine, topo, fault, cap);
+                                    let timing = Some(timing::time_reps_ms(spec.reps, || {
+                                        app_rounds(engine, topo, fault, cap);
+                                    }));
+                                    (tau, timing)
+                                } else {
+                                    let tau = engine_tau(&g, workload.source, &opts);
+                                    let timing = match (engine, tau) {
+                                        (EngineChoice::Engine, _) => {
+                                            Some(timing::time_reps_ms(spec.reps, || {
+                                                engine_tau(&g, workload.source, &opts);
+                                            }))
+                                        }
+                                        (EngineChoice::Dense, Some(tau)) => {
+                                            let dense = dense_tau(&g, workload.source, &opts);
+                                            assert_eq!(
+                                                dense, tau,
+                                                "dense/engine τ disagree on {} — bit-compat broken",
+                                                workload.name
+                                            );
+                                            Some(timing::time_reps_ms(spec.reps, || {
+                                                dense_tau(&g, workload.source, &opts);
+                                            }))
+                                        }
+                                        (EngineChoice::Dense, None) => {
+                                            // The dense reference panics on a
+                                            // missed cap; record the cell
+                                            // untimed instead.
+                                            eprintln!(
+                                                "warning: {}: no witness within max_t={}, dense cell untimed",
+                                                workload.name, spec.max_t
+                                            );
+                                            None
+                                        }
+                                        _ => unreachable!("app engines handled above"),
+                                    };
+                                    (tau, timing)
+                                };
+                                let fault_label = fault.label();
+                                // Fault-free keys stay in the pre-fault
+                                // format so older records keep matching.
+                                let fault_key = if fault_label == "none" {
+                                    String::new()
+                                } else {
+                                    format!("|fault={fault_label}")
+                                };
+                                record.cells.push(Cell {
+                                    scenario: format!(
+                                        "g={}|w={}|beta={beta}|eps={eps}|engine={}{fault_key}|threads={width}",
+                                        workload.name,
+                                        weighting.label(),
+                                        engine.label(),
+                                    ),
+                                    graph: workload.name.clone(),
+                                    weighting: weighting.label(),
+                                    beta,
+                                    eps,
+                                    engine: engine.label().to_string(),
+                                    fault: fault_label,
+                                    threads: width,
+                                    tau,
+                                    timing: timing.as_deref().and_then(timing::summarize),
+                                });
+                            }
                         }
                     }
                 }
@@ -146,7 +203,7 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
 pub fn render_table(record: &BenchRecord) -> String {
     let mut t = lmt_util::table::Table::new(
         format!("sweep {} ({} cells)", record.tag, record.cells.len()),
-        &["graph", "w", "β", "ε", "engine", "thr", "τ", "median ms", "min..max"],
+        &["graph", "w", "β", "ε", "engine", "fault", "thr", "τ", "median ms", "min..max"],
     );
     for c in &record.cells {
         t.row(&[
@@ -155,6 +212,7 @@ pub fn render_table(record: &BenchRecord) -> String {
             format!("{}", c.beta),
             format!("{:.4}", c.eps),
             c.engine.clone(),
+            c.fault.clone(),
             c.threads.to_string(),
             crate::fmt_opt(c.tau),
             c.timing
@@ -183,6 +241,7 @@ mod tests {
             weightings: vec![Weighting::Unit, Weighting::Uniform(2.0)],
             betas: vec![4.0],
             epsilons: vec![crate::EPS],
+            faults: vec![FaultSpec::None],
             engines: vec![EngineChoice::Engine, EngineChoice::Dense],
             threads: vec![1],
         }
@@ -238,6 +297,44 @@ mod tests {
     }
 
     #[test]
+    fn app_engine_cells_record_completion_rounds() {
+        let spec = SweepSpec {
+            tag: "apps".into(),
+            reps: 1,
+            max_t: 100_000,
+            graphs: vec![GraphSpec::Barbell { beta: 2, k: 6 }],
+            weightings: vec![Weighting::Unit],
+            betas: vec![2.0],
+            epsilons: vec![0.1],
+            faults: vec![
+                FaultSpec::None,
+                FaultSpec::Drop { p: 0.3, seed: 7 },
+                FaultSpec::Crash { count: 2, round: 1, seed: 7 },
+            ],
+            engines: vec![EngineChoice::Elect, EngineChoice::Spread],
+            threads: vec![1],
+        };
+        let record = run_sweep(&spec);
+        assert_eq!(record.cells.len(), spec.cell_count());
+        for cell in &record.cells {
+            let rounds = cell.tau.unwrap_or_else(|| panic!("{} hit the cap", cell.scenario));
+            assert!(rounds > 0, "{}", cell.scenario);
+            assert!(cell.timing.is_some(), "{}", cell.scenario);
+        }
+        // Fault-free cells keep the legacy key shape; faulty cells carry
+        // the fault label between the engine and threads segments.
+        assert!(!record.cells[0].scenario.contains("fault="));
+        assert_eq!(record.cells[0].fault, "none");
+        assert!(record.cells[2]
+            .scenario
+            .contains("|engine=elect|fault=drop(p=0.3,seed=7)|threads=1"));
+        // The whole sweep is deterministic: same spec, same τ column.
+        let again = run_sweep(&spec);
+        let taus = |r: &BenchRecord| r.cells.iter().map(|c| c.tau).collect::<Vec<_>>();
+        assert_eq!(taus(&record), taus(&again));
+    }
+
+    #[test]
     fn threads_guard_restores_prior_value() {
         // Serialize against other tests touching the variable via the
         // guard itself: pin an outer value first.
@@ -260,6 +357,7 @@ mod tests {
             weightings: vec![Weighting::Unit],
             betas: vec![2.0],
             epsilons: vec![0.001],
+            faults: vec![FaultSpec::None],
             engines: vec![EngineChoice::Engine, EngineChoice::Dense],
             threads: vec![1],
         };

@@ -163,23 +163,39 @@ pub fn build_bfs_tree(
     engine: EngineKind,
     seed: u64,
 ) -> Result<(BfsTree, Metrics), RunError> {
+    build_bfs_tree_faulty(g, src, depth_limit, budget_bits, engine, seed, None)
+}
+
+/// [`build_bfs_tree`] on a faulty network: with crashes or drops the result
+/// is generally *not* a spanning tree — unreached nodes report `dist =
+/// None` — and the quiescence-based round cap still applies (a lost JOIN
+/// simply prunes that subtree). A trivial (or absent) plan is bit-identical
+/// to [`build_bfs_tree`].
+#[allow(clippy::too_many_arguments)]
+pub fn build_bfs_tree_faulty(
+    g: &Graph,
+    src: usize,
+    depth_limit: u32,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+    plan: Option<crate::fault::FaultPlan>,
+) -> Result<(BfsTree, Metrics), RunError> {
     assert!(src < g.n(), "bfs source out of range");
     let width = id_bits(g.n());
-    let mut net = Network::new(
-        g,
-        |id| BfsNode {
-            is_source: id == src,
-            depth_limit,
-            width,
-            dist: None,
-            parent: None,
-            children: Vec::new(),
-            forwarded: false,
-        },
-        budget_bits,
-        engine,
-        seed,
-    );
+    let make = |id: usize| BfsNode {
+        is_source: id == src,
+        depth_limit,
+        width,
+        dist: None,
+        parent: None,
+        children: Vec::new(),
+        forwarded: false,
+    };
+    let mut net = match plan {
+        Some(plan) => Network::with_faults(g, make, budget_bits, engine, seed, plan),
+        None => Network::new(g, make, budget_bits, engine, seed),
+    };
     // Depth+2 rounds suffice; cap generously at n+2.
     net.run_until_quiet(g.n() as u64 + 2)?;
     let mut dist = Vec::with_capacity(g.n());

@@ -20,8 +20,9 @@
 //! every round. The engine only decides *when* to route and meters the
 //! result.
 
+use crate::fault::FaultPlan;
 use crate::message::Payload;
-use crate::routing::{Outbox, Router};
+use crate::routing::{FaultCtx, Outbox, Router};
 use lmt_graph::Graph;
 use lmt_util::rng::RngFanout;
 use rand::rngs::SmallRng;
@@ -52,18 +53,29 @@ pub struct Metrics {
     pub messages: u64,
     /// Total bits delivered.
     pub bits: u64,
-    /// Maximum bits observed on one directed edge in one round.
+    /// Maximum bits observed on one directed edge in one round (attempted:
+    /// the CONGEST budget meters what senders load onto the edge, whether
+    /// or not the fault layer then loses it).
     pub max_edge_bits: u32,
+    /// Messages lost to the fault layer (random drops and messages
+    /// addressed to already-crashed receivers). Zero on fault-free runs.
+    pub dropped_messages: u64,
+    /// Nodes crashed at or before the current round (a gauge, not a
+    /// counter). Zero on fault-free runs.
+    pub crashed_nodes: u64,
 }
 
 impl Metrics {
     /// Accumulate another phase's metrics (used when an algorithm composes
-    /// several protocol phases; rounds add, maxima combine).
+    /// several protocol phases; rounds add, maxima combine — including the
+    /// crashed-node gauge, which only grows over a run).
     pub fn absorb(&mut self, other: &Metrics) {
         self.rounds += other.rounds;
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
+        self.dropped_messages += other.dropped_messages;
+        self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
     }
 }
 
@@ -279,6 +291,7 @@ pub struct Network<'g, P: Protocol> {
     engine: EngineKind,
     last_round_sends: u64,
     initialized: bool,
+    fault: Option<FaultPlan>,
 }
 
 impl<'g, P: Protocol> Network<'g, P> {
@@ -310,7 +323,47 @@ impl<'g, P: Protocol> Network<'g, P> {
             engine,
             last_round_sends: 0,
             initialized: false,
+            fault: None,
         }
+    }
+
+    /// [`Network::new`] with a fault schedule attached (see the [`crate::fault`]
+    /// module). A trivial plan (no crashes, zero drop probability) leaves
+    /// every execution bit-identical to a plan-free network.
+    ///
+    /// # Panics
+    /// Panics if the plan was built for a different node count.
+    pub fn with_faults(
+        graph: &'g Graph,
+        make: impl FnMut(usize) -> P,
+        budget_bits: u32,
+        engine: EngineKind,
+        seed: u64,
+        plan: FaultPlan,
+    ) -> Self {
+        assert_eq!(
+            plan.n(),
+            graph.n(),
+            "fault plan covers {} nodes but the graph has {}",
+            plan.n(),
+            graph.n()
+        );
+        let mut net = Network::new(graph, make, budget_bits, engine, seed);
+        net.fault = Some(plan);
+        net
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// True iff nothing has gone missing so far: no crashes have triggered
+    /// and no message has been dropped. While this holds, quiescence
+    /// ([`Network::run_until_quiet`]) retains its fault-free meaning —
+    /// every sent message was delivered, so nothing is pending anywhere.
+    pub fn lossless_so_far(&self) -> bool {
+        self.metrics.dropped_messages == 0 && self.metrics.crashed_nodes == 0
     }
 
     /// The underlying graph.
@@ -358,11 +411,15 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.initialized = true;
         let graph = self.graph;
         let round = self.round;
+        let fault = self.fault.as_ref();
         match self.engine {
             EngineKind::Sequential => {
                 for (id, (slot, outbox)) in
                     self.nodes.iter_mut().zip(self.outboxes.iter_mut()).enumerate()
                 {
+                    if fault.is_some_and(|p| p.crashed_by(id, round)) {
+                        continue;
+                    }
                     let mut ctx = Ctx {
                         id,
                         graph,
@@ -381,6 +438,9 @@ impl<'g, P: Protocol> Network<'g, P> {
                     .zip(self.outboxes.par_iter_mut())
                     .enumerate()
                     .for_each(|(id, (slot, outbox))| {
+                        if fault.is_some_and(|p| p.crashed_by(id, round)) {
+                            return;
+                        }
                         let mut ctx = Ctx {
                             id,
                             graph,
@@ -392,6 +452,9 @@ impl<'g, P: Protocol> Network<'g, P> {
                         outbox.normalize(graph.neighbors_raw(id));
                     });
             }
+        }
+        if let Some(plan) = fault {
+            self.metrics.crashed_nodes = plan.crashed_count_by(round);
         }
         self.route()
     }
@@ -406,9 +469,13 @@ impl<'g, P: Protocol> Network<'g, P> {
     /// discarded and the smallest `(from, to)` offender is reported.
     fn route(&mut self) -> Result<(), RunError> {
         let parallel = self.engine == EngineKind::Parallel;
+        let fault = self.fault.as_ref().map(|plan| FaultCtx {
+            plan,
+            round: self.round,
+        });
         let outcome = self
             .router
-            .route(&self.outboxes, self.budget_bits, parallel);
+            .route(&self.outboxes, self.budget_bits, parallel, fault);
         if let Some((from, to, bits)) = outcome.violation {
             return Err(RunError::BudgetExceeded {
                 from: from as usize,
@@ -419,14 +486,18 @@ impl<'g, P: Protocol> Network<'g, P> {
             });
         }
         debug_assert_eq!(
-            outcome.delivered,
+            outcome.delivered + outcome.dropped,
             self.outboxes.iter().map(|o| o.len() as u64).sum::<u64>(),
             "router dropped or duplicated messages (non-neighbor send?)"
         );
         self.metrics.messages += outcome.delivered;
         self.metrics.bits += outcome.bits;
         self.metrics.max_edge_bits = self.metrics.max_edge_bits.max(outcome.max_edge_bits);
-        self.last_round_sends = outcome.delivered;
+        self.metrics.dropped_messages += outcome.dropped;
+        // Quiescence tracks *sends*, not deliveries: a protocol that keeps
+        // transmitting into a lossy network is not quiet just because
+        // every message was lost.
+        self.last_round_sends = outcome.delivered + outcome.dropped;
         // Outboxes were only read by the gather; empty the (active) ones
         // for the next round, keeping their allocations — silent nodes'
         // outboxes are already empty and cost nothing.
@@ -445,11 +516,15 @@ impl<'g, P: Protocol> Network<'g, P> {
         let graph = self.graph;
         let round = self.round;
         let router = &self.router;
+        let fault = self.fault.as_ref();
         match self.engine {
             EngineKind::Sequential => {
                 for (id, (slot, outbox)) in
                     self.nodes.iter_mut().zip(self.outboxes.iter_mut()).enumerate()
                 {
+                    if fault.is_some_and(|p| p.crashed_by(id, round)) {
+                        continue;
+                    }
                     let mut ctx = Ctx {
                         id,
                         graph,
@@ -468,6 +543,9 @@ impl<'g, P: Protocol> Network<'g, P> {
                     .zip(self.outboxes.par_iter_mut())
                     .enumerate()
                     .for_each(|(id, (slot, outbox))| {
+                        if fault.is_some_and(|p| p.crashed_by(id, round)) {
+                            return;
+                        }
                         let mut ctx = Ctx {
                             id,
                             graph,
@@ -479,6 +557,9 @@ impl<'g, P: Protocol> Network<'g, P> {
                         outbox.normalize(graph.neighbors_raw(id));
                     });
             }
+        }
+        if let Some(plan) = fault {
+            self.metrics.crashed_nodes = plan.crashed_count_by(round);
         }
         self.route()?;
         Ok(self.last_round_sends)
@@ -495,6 +576,15 @@ impl<'g, P: Protocol> Network<'g, P> {
     /// Run until a round in which no messages were sent (network
     /// quiescence — every sent message is delivered the next round, so no
     /// sends also means nothing is pending), or until `max_rounds`.
+    ///
+    /// **Under faults, quiescence does not mean completion.** Dropped
+    /// messages and crashed senders can empty the pending set while the
+    /// protocol's goal (full infection, a spanning tree, …) was never
+    /// reached — e.g. a flood whose only bridge message was dropped goes
+    /// quiet with half the graph uninfected. Callers on a faulty network
+    /// must check their own completion predicate (or
+    /// [`Network::lossless_so_far`], which certifies that quiescence still
+    /// carries its fault-free meaning).
     pub fn run_until_quiet(&mut self, max_rounds: u64) -> Result<(), RunError> {
         self.ensure_init()?;
         for _ in 0..max_rounds {
@@ -780,6 +870,141 @@ mod tests {
             }
             assert_eq!(net.metrics().messages, 2 * (n as u64 - 1));
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Fault layer (ISSUE 7): crash-stop, drops, quiescence caveat.
+    // -----------------------------------------------------------------
+
+    use crate::fault::FaultPlan;
+
+    #[test]
+    fn trivial_fault_plan_is_bit_identical_to_no_plan() {
+        let g = gen::random_regular(40, 4, 9);
+        for kind in [EngineKind::Sequential, EngineKind::Parallel] {
+            let mut plain = infect_net(&g, kind);
+            let mut faulted = Network::with_faults(
+                &g,
+                |id| Infect {
+                    infected: false,
+                    is_source: id == 0,
+                    announced: false,
+                },
+                olog_budget(g.n(), 8),
+                kind,
+                42,
+                FaultPlan::new(g.n(), 999),
+            );
+            plain.run_until_quiet(100).unwrap();
+            faulted.run_until_quiet(100).unwrap();
+            assert_eq!(plain.metrics(), faulted.metrics(), "{kind:?}");
+            assert!(faulted.lossless_so_far());
+            for id in 0..g.n() {
+                assert_eq!(plain.node(id).infected, faulted.node(id).infected);
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_cut_node_quiesces_without_completion() {
+        // Path 0–1–2–3–4 with the middle crashed from the start: the flood
+        // goes quiet with the far side never infected — quiescence ≠
+        // completion under faults.
+        let g = gen::path(5);
+        let mut net = Network::with_faults(
+            &g,
+            |id| Infect {
+                infected: false,
+                is_source: id == 0,
+                announced: false,
+            },
+            olog_budget(5, 8),
+            EngineKind::Sequential,
+            1,
+            FaultPlan::new(5, 0).with_crash(2, 0),
+        );
+        net.run_until_quiet(100).unwrap();
+        assert!(net.node(1).infected);
+        assert!(!net.node(2).infected, "crashed node never ran");
+        assert!(!net.node(3).infected && !net.node(4).infected);
+        let m = net.metrics();
+        assert!(m.dropped_messages > 0, "message into the crash was lost");
+        assert_eq!(m.crashed_nodes, 1);
+        assert!(!net.lossless_so_far());
+    }
+
+    #[test]
+    fn full_drop_rate_silences_everything() {
+        let g = gen::complete(6);
+        let mut net = Network::with_faults(
+            &g,
+            |id| Infect {
+                infected: false,
+                is_source: id == 0,
+                announced: false,
+            },
+            olog_budget(6, 8),
+            EngineKind::Sequential,
+            3,
+            FaultPlan::new(6, 4).with_drop_prob(1.0),
+        );
+        net.run_until_quiet(100).unwrap();
+        // Only the source ever got the token; all its sends were dropped.
+        assert_eq!(net.node_states().filter(|s| s.infected).count(), 1);
+        let m = net.metrics();
+        assert_eq!(m.messages, 0);
+        assert_eq!(m.dropped_messages, 5);
+        assert_eq!(m.max_edge_bits, 1, "attempted bits still metered");
+    }
+
+    #[test]
+    fn crash_mid_run_freezes_state_and_stops_sends() {
+        // Chatter normally floods forever; crash a node at round 3 and
+        // check nobody hears from it in rounds > 3 (its round-2 sends are
+        // delivered in round 3, the last legitimate arrivals).
+        struct Logger {
+            heard: Vec<(u64, Vec<u32>)>,
+            rounds_run: u64,
+        }
+        impl Protocol for Logger {
+            type Msg = Ping;
+            fn init(&mut self, ctx: &mut Ctx<'_, Ping>) {
+                ctx.send_all(Ping);
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_, Ping>, inbox: &[(u32, Ping)]) {
+                self.rounds_run = ctx.round();
+                self.heard
+                    .push((ctx.round(), inbox.iter().map(|(f, _)| *f).collect()));
+                ctx.send_all(Ping);
+            }
+        }
+        let g = gen::complete(5);
+        let crash_round = 3;
+        let victim = 2usize;
+        let mut net = Network::with_faults(
+            &g,
+            |_| Logger {
+                heard: Vec::new(),
+                rounds_run: 0,
+            },
+            olog_budget(5, 8),
+            EngineKind::Sequential,
+            11,
+            FaultPlan::new(5, 0).with_crash(victim, crash_round),
+        );
+        net.run_rounds(8).unwrap();
+        assert_eq!(net.node(victim).rounds_run, crash_round - 1);
+        for id in (0..5).filter(|&v| v != victim) {
+            for (round, senders) in &net.node(id).heard {
+                let heard_victim = senders.contains(&(victim as u32));
+                assert_eq!(
+                    heard_victim,
+                    *round <= crash_round,
+                    "node {id} round {round}: senders {senders:?}"
+                );
+            }
+        }
+        assert_eq!(net.metrics().crashed_nodes, 1);
     }
 
     #[test]

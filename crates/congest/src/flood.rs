@@ -131,6 +131,26 @@ pub fn estimate_rw_probability_kind(
     engine: EngineKind,
     seed: u64,
 ) -> Result<(Vec<FixedQ>, FixedScale, Metrics), RunError> {
+    estimate_rw_probability_faulty(g, src, ell, c, kind, budget_bits, engine, seed, None)
+}
+
+/// [`estimate_rw_probability_kind`] on a faulty network. Dropped shares are
+/// simply lost mass: the per-node estimates no longer sum to the scale's
+/// one, which is exactly the robustness question the fault sweeps measure.
+/// A trivial (or absent) plan is bit-identical to the fault-free entry
+/// points.
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_rw_probability_faulty(
+    g: &Graph,
+    src: usize,
+    ell: u64,
+    c: u32,
+    kind: WalkKind,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+    plan: Option<crate::fault::FaultPlan>,
+) -> Result<(Vec<FixedQ>, FixedScale, Metrics), RunError> {
     assert!(src < g.n(), "flood source out of range");
     let scale = FixedScale::new(g.n(), c);
     let width = scale.payload_bits();
@@ -139,19 +159,17 @@ pub fn estimate_rw_probability_kind(
         "scale n^{c} needs {width}-bit shares but the edge budget is {budget_bits}; \
          raise the budget multiplier (the paper's O(log n) hides the factor c)"
     );
-    let mut net = Network::new(
-        g,
-        |id| FloodNode {
-            scale,
-            steps: ell,
-            width,
-            kind,
-            w: if id == src { scale.one() } else { scale.zero() },
-        },
-        budget_bits,
-        engine,
-        seed,
-    );
+    let make = |id: usize| FloodNode {
+        scale,
+        steps: ell,
+        width,
+        kind,
+        w: if id == src { scale.one() } else { scale.zero() },
+    };
+    let mut net = match plan {
+        Some(plan) => Network::with_faults(g, make, budget_bits, engine, seed, plan),
+        None => Network::new(g, make, budget_bits, engine, seed),
+    };
     net.run_rounds(ell)?;
     let weights = net.node_states().map(|s| s.w).collect();
     Ok((weights, scale, net.metrics()))

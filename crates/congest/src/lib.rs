@@ -45,6 +45,18 @@
 //! and is sharded by destination across the thread pool for the parallel
 //! engine.
 //!
+//! ## Faults
+//!
+//! [`fault::FaultPlan`] layers deterministic failure injection onto the
+//! routing plane: crash-stop schedules per node and an independent
+//! per-message drop probability, all derived from one seed with the same
+//! RNG fan-out discipline as everything else — so Parallel ≡ Sequential
+//! bit-equality holds under faults too, and a trivial (fault-free) plan is
+//! bit-identical to running without one. Under faults, quiescence no
+//! longer implies completion (see
+//! [`engine::Network::run_until_quiet`]); [`engine::Metrics`] reports
+//! `dropped_messages` and `crashed_nodes` so callers can tell.
+//!
 //! ## Structure
 //!
 //! * [`message`] — the [`message::Payload`] trait (semantic wire-size
@@ -74,6 +86,7 @@
 pub mod bfs;
 pub mod binsearch;
 pub mod engine;
+pub mod fault;
 pub mod flood;
 pub mod message;
 pub(crate) mod routing;
@@ -81,4 +94,5 @@ pub mod tree;
 pub mod upcast;
 
 pub use engine::{EngineKind, Metrics, Network, RunError};
+pub use fault::FaultPlan;
 pub use message::Payload;

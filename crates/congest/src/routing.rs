@@ -46,6 +46,7 @@
 //! and the lexicographically smallest `(from, to)` offender is reported —
 //! the same edge the old sender-major scan reported first.
 
+use crate::fault::FaultPlan;
 use crate::message::Payload;
 use rayon::prelude::*;
 
@@ -248,11 +249,15 @@ fn grow_to<T: Clone>(v: &mut Vec<T>, len: usize, fill: T, grew: &mut u64) {
 /// commutative operations so shard boundaries cannot affect the result.
 #[derive(Clone, Copy, Debug, Default)]
 pub(crate) struct RouteOutcome {
-    /// Messages delivered (= messages sent, for contract-abiding protocols).
+    /// Messages delivered (= messages sent, for contract-abiding protocols
+    /// on a fault-free network).
     pub delivered: u64,
-    /// Total bits across all directed edges.
+    /// Messages lost to the fault layer (random drops + crashed receivers).
+    pub dropped: u64,
+    /// Total bits across all directed edges (delivered messages only).
     pub bits: u64,
-    /// Maximum bits on one directed edge.
+    /// Maximum bits on one directed edge (attempted, pre-drop: the CONGEST
+    /// budget meters what senders load onto the edge).
     pub max_edge_bits: u32,
     /// Lexicographically smallest `(from, to, bits)` budget violation.
     pub violation: Option<(u32, u32, u32)>,
@@ -261,6 +266,7 @@ pub(crate) struct RouteOutcome {
 impl RouteOutcome {
     fn merge(&mut self, other: RouteOutcome) {
         self.delivered += other.delivered;
+        self.dropped += other.dropped;
         self.bits += other.bits;
         self.max_edge_bits = self.max_edge_bits.max(other.max_edge_bits);
         if let Some(v) = other.violation {
@@ -275,6 +281,18 @@ impl RouteOutcome {
             _ => self.violation = Some(v),
         }
     }
+}
+
+/// The fault layer's view of one routing pass: the plan plus the *sending*
+/// round (receivers read these messages in `round + 1`, which is the round
+/// a crashed receiver is tested against). `Copy` so the parallel shards
+/// share it freely.
+#[derive(Clone, Copy)]
+pub(crate) struct FaultCtx<'a> {
+    /// The network's fault schedule.
+    pub plan: &'a FaultPlan,
+    /// Round in which the outboxes being routed were filled.
+    pub round: u64,
 }
 
 /// One contiguous destination range's slice of the inbox arena: a
@@ -314,11 +332,19 @@ impl<M: Payload> Shard<M> {
     /// in-order runs ⇒ every inbox satisfies the contract with no further
     /// work. Metering rides along: each run is one directed edge's
     /// per-round message group.
+    ///
+    /// Fault injection also rides along: a run is one directed edge, so
+    /// its drop decisions (crashed receiver, per-message random drops) are
+    /// made wholly inside the shard that owns the destination — shard
+    /// layout and pool width cannot reorder the RNG draws. The budget is
+    /// metered on *attempted* bits (the sender loaded the edge whether or
+    /// not delivery succeeds); `bits` counts delivered payload only.
     fn gather(
         &mut self,
         outboxes: &[Outbox<M>],
         active: &[u32],
         budget_bits: u32,
+        fault: Option<FaultCtx<'_>>,
     ) -> RouteOutcome {
         // Clear exactly the inboxes the previous round filled, keeping
         // their allocations — a quiet or sparse round costs O(touched),
@@ -341,22 +367,62 @@ impl<M: Payload> Shard<M> {
             while i < buf.len() && buf[i].0 < b {
                 let to = buf[i].0;
                 let run_start = i;
-                let ib = &mut inboxes[(to - a) as usize];
-                if ib.is_empty() {
-                    touched.push(to - a);
+                // A run only takes the (slower) faulty path when this edge
+                // can actually lose messages — a trivial plan costs one
+                // branch per run and changes nothing downstream.
+                let mut run_fault = None;
+                if let Some(f) = fault {
+                    let dead = f.plan.crashed_by(to as usize, f.round + 1);
+                    if dead || f.plan.drop_prob() > 0.0 {
+                        run_fault =
+                            Some((f.plan, (!dead).then(|| f.plan.edge_rng(f.round, u, to))));
+                    }
                 }
+                let ib = &mut inboxes[(to - a) as usize];
                 let cap = ib.capacity();
                 let mut edge_bits = 0u32;
-                while i < buf.len() && buf[i].0 == to {
-                    edge_bits = edge_bits.saturating_add(buf[i].1.encoded_bits());
-                    ib.push((u, buf[i].1.clone()));
-                    i += 1;
+                match run_fault {
+                    None => {
+                        if ib.is_empty() {
+                            touched.push(to - a);
+                        }
+                        while i < buf.len() && buf[i].0 == to {
+                            edge_bits = edge_bits.saturating_add(buf[i].1.encoded_bits());
+                            ib.push((u, buf[i].1.clone()));
+                            i += 1;
+                        }
+                        out.delivered += (i - run_start) as u64;
+                        out.bits += edge_bits as u64;
+                    }
+                    Some((plan, mut rng)) => {
+                        // rng is None iff the receiver is crashed: the
+                        // whole run drops without consuming random draws.
+                        let mut delivered_bits = 0u64;
+                        while i < buf.len() && buf[i].0 == to {
+                            let mbits = buf[i].1.encoded_bits();
+                            edge_bits = edge_bits.saturating_add(mbits);
+                            let lost = match rng.as_mut() {
+                                None => true,
+                                Some(r) => plan.drops(r),
+                            };
+                            if lost {
+                                out.dropped += 1;
+                            } else {
+                                if ib.is_empty() {
+                                    touched.push(to - a);
+                                }
+                                ib.push((u, buf[i].1.clone()));
+                                out.delivered += 1;
+                                delivered_bits += mbits as u64;
+                            }
+                            i += 1;
+                        }
+                        out.bits += delivered_bits;
+                    }
                 }
                 if ib.capacity() != cap {
                     self.grew += 1;
                 }
-                out.delivered += (i - run_start) as u64;
-                out.bits += edge_bits as u64;
                 out.max_edge_bits = out.max_edge_bits.max(edge_bits);
                 if edge_bits > budget_bits {
                     out.note_violation((u, to, edge_bits));
@@ -438,6 +504,7 @@ impl<M: Payload> Router<M> {
         outboxes: &[Outbox<M>],
         budget_bits: u32,
         parallel: bool,
+        fault: Option<FaultCtx<'_>>,
     ) -> RouteOutcome {
         let want = if parallel {
             rayon::current_num_threads().min((self.n / ROUTE_MIN_SHARD).max(1))
@@ -459,13 +526,13 @@ impl<M: Payload> Router<M> {
         }
         let active = &self.active;
         if self.shards.len() == 1 {
-            self.shards[0].gather(outboxes, active, budget_bits)
+            self.shards[0].gather(outboxes, active, budget_bits, fault)
         } else {
             // merge is commutative and associative, so the shim's
             // chunk-order reduce is deterministic and Vec-free.
             self.shards
                 .par_iter_mut()
-                .map(|s| s.gather(outboxes, active, budget_bits))
+                .map(|s| s.gather(outboxes, active, budget_bits, fault))
                 .reduce(RouteOutcome::default, |mut a, b| {
                     a.merge(b);
                     a
@@ -605,12 +672,72 @@ mod tests {
             r.configure(shards);
             let mut total = RouteOutcome::default();
             for s in &mut r.shards {
-                total.merge(s.gather(&obs, &active, 8));
+                total.merge(s.gather(&obs, &active, 8, None));
             }
             assert_eq!(total.delivered, 2);
             let senders: Vec<u32> = r.inbox(1).iter().map(|(f, _)| *f).collect();
             assert_eq!(senders, vec![0, 2], "shards={shards}");
             assert!(r.inbox(0).is_empty() && r.inbox(2).is_empty());
         }
+    }
+
+    #[test]
+    fn crashed_receiver_drops_whole_run_and_meters_attempted_bits() {
+        let mut obs: Vec<Outbox<Ping>> = (0..3).map(|_| Outbox::new()).collect();
+        obs[0].push(1, Ping);
+        obs[0].push(1, Ping);
+        obs[2].push(1, Ping);
+        let plan = FaultPlan::new(3, 0).with_crash(1, 1);
+        let mut r: Router<Ping> = Router::new(3);
+        // Sends of round 0 are read in round 1, when node 1 is already dead.
+        let out = r.route(&obs, 8, false, Some(FaultCtx { plan: &plan, round: 0 }));
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.dropped, 3);
+        assert_eq!(out.bits, 0, "no delivered payload");
+        assert_eq!(out.max_edge_bits, 2, "budget meters attempted bits");
+        assert!(r.inbox(1).is_empty());
+    }
+
+    #[test]
+    fn drop_decisions_are_shard_layout_independent() {
+        // All nodes message node n-1 and node 0 so runs land in different
+        // shards depending on layout; delivered/dropped must not change.
+        let n = 12usize;
+        let plan = FaultPlan::new(n, 9).with_drop_prob(0.5);
+        let mk = || {
+            let mut obs: Vec<Outbox<Ping>> = (0..n).map(|_| Outbox::new()).collect();
+            for (u, ob) in obs.iter_mut().enumerate() {
+                if u != 0 {
+                    ob.push(0, Ping);
+                }
+                if u != n - 1 {
+                    ob.push((n - 1) as u32, Ping);
+                }
+            }
+            obs
+        };
+        let active: Vec<u32> = (0..n as u32).collect();
+        let mut reference: Option<(u64, u64, Vec<u32>)> = None;
+        for shards in [1usize, 2, 5] {
+            let obs = mk();
+            let mut r: Router<Ping> = Router::new(n);
+            r.configure(shards);
+            let mut total = RouteOutcome::default();
+            let fc = FaultCtx { plan: &plan, round: 3 };
+            for s in &mut r.shards {
+                total.merge(s.gather(&obs, &active, 8, Some(fc)));
+            }
+            let senders: Vec<u32> = r.inbox(0).iter().map(|(f, _)| *f).collect();
+            assert_eq!(total.delivered + total.dropped, 2 * (n as u64 - 1));
+            match &reference {
+                None => reference = Some((total.delivered, total.dropped, senders)),
+                Some((d, p, s)) => {
+                    assert_eq!((total.delivered, total.dropped), (*d, *p), "shards={shards}");
+                    assert_eq!(&senders, s, "shards={shards}");
+                }
+            }
+        }
+        let (delivered, dropped, _) = reference.unwrap();
+        assert!(delivered > 0 && dropped > 0, "p=0.5 should split the traffic");
     }
 }

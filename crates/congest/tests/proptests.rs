@@ -119,4 +119,50 @@ proptest! {
         prop_assert!(res.sum >= exact && res.sum < exact + r as u128,
             "jitter sum {} vs exact {exact} (r = {r})", res.sum);
     }
+
+    /// A trivial (zero-drop, no-crash) fault plan is invisible: the faulty
+    /// entry points produce bit-identical trees/estimates AND metrics to the
+    /// fault-free ones, for both primitives that grew a faulty variant.
+    #[test]
+    fn trivial_fault_plan_is_invisible(g in connected_graph(), seed in any::<u64>(), fault_seed in any::<u64>()) {
+        let n = g.n();
+        let budget = olog_budget(n, 8);
+        let plan = lmt_congest::FaultPlan::new(n, fault_seed);
+
+        let (tree_a, m_a) =
+            build_bfs_tree(&g, 0, u32::MAX, budget, EngineKind::Sequential, seed).unwrap();
+        let (tree_b, m_b) = lmt_congest::bfs::build_bfs_tree_faulty(
+            &g, 0, u32::MAX, budget, EngineKind::Sequential, seed, Some(plan.clone()),
+        ).unwrap();
+        prop_assert_eq!(&tree_a.dist, &tree_b.dist);
+        prop_assert_eq!(&tree_a.parent, &tree_b.parent);
+        prop_assert_eq!(m_a, m_b);
+
+        let flood_budget = olog_budget(n, 64);
+        let (p_a, _, fm_a) = lmt_congest::flood::estimate_rw_probability(
+            &g, 0, 4, 6, flood_budget, EngineKind::Sequential, seed,
+        ).unwrap();
+        let (p_b, _, fm_b) = lmt_congest::flood::estimate_rw_probability_faulty(
+            &g, 0, 4, 6, lmt_walks::WalkKind::Simple, flood_budget,
+            EngineKind::Sequential, seed, Some(plan),
+        ).unwrap();
+        prop_assert_eq!(p_a, p_b);
+        prop_assert_eq!(fm_a, fm_b);
+    }
+
+    /// A node crashed before round 0 (and distinct from the source) never
+    /// executes a round, so BFS can't assign it a distance; the crashed-node
+    /// gauge records it.
+    #[test]
+    fn crashed_node_is_silent_in_bfs(g in connected_graph(), fault_seed in any::<u64>(), victim_raw in any::<usize>()) {
+        let n = g.n();
+        let victim = 1 + victim_raw % (n - 1); // never the source (node 0)
+        let plan = lmt_congest::FaultPlan::new(n, fault_seed).with_crash(victim, 0);
+        let (tree, m) = lmt_congest::bfs::build_bfs_tree_faulty(
+            &g, 0, u32::MAX, olog_budget(n, 8), EngineKind::Sequential, 17, Some(plan),
+        ).unwrap();
+        prop_assert!(tree.dist[victim].is_none(),
+            "crash-at-0 victim {victim} must stay unreached, got {:?}", tree.dist[victim]);
+        prop_assert_eq!(m.crashed_nodes, 1);
+    }
 }

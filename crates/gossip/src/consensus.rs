@@ -1,0 +1,347 @@
+//! Ben-Or-style binary consensus on the CONGEST substrate.
+//!
+//! A minimal synchronous randomized consensus (Ben-Or 1983, crash-stop
+//! flavor) layered on [`lmt_congest::engine::Network`] so it can run under
+//! the fault plane: each phase is two broadcast rounds —
+//!
+//! 1. **Report**: every undecided node broadcasts its current estimate.
+//!    A node that sees a strict majority (`> n/2`, counting itself) for a
+//!    value `v` will propose `v`; otherwise it proposes "?".
+//! 2. **Propose**: proposals are broadcast. A node seeing `≥ f+1` proposals
+//!    for `v` **decides** `v`; seeing at least one, it adopts `v` as its
+//!    estimate; seeing none, it flips a local coin (its deterministic
+//!    per-node stream, so whole runs stay reproducible).
+//!
+//! Because every report round carries one fixed value per sender, no two
+//! nodes can observe majorities for *different* values even when each sees
+//! only a subset of the reports — so at most one value is ever proposed per
+//! phase, and the classic agreement/validity arguments go through under
+//! crash-stop faults with `f < n/2` crashes. Under **message drops** the
+//! structure stays safe in that sense, but decision thresholds can
+//! starve: liveness (and agreement between nodes that decide in different
+//! phases) is then only probabilistic — this module is the round-structure
+//! reproduction, not a drop-tolerant consensus.
+//!
+//! The protocol assumes all-to-all communication, so [`run_consensus`]
+//! requires a complete graph.
+
+use lmt_congest::engine::{Ctx, EngineKind, Metrics, Network, Protocol, RunError};
+use lmt_congest::fault::FaultPlan;
+use lmt_congest::message::Payload;
+use lmt_graph::Graph;
+use rand::Rng;
+
+/// Widest supported phase counter (16-bit wire field).
+const MAX_PHASES: u64 = 1 << 16;
+
+/// Consensus wire message. The phase field is a fixed 16-bit counter —
+/// in lockstep synchrony it is redundant (all live nodes share the round
+/// number) and is carried for wire realism and debug cross-checking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenOrMsg {
+    /// Phase step 1: the sender's current estimate.
+    Report {
+        /// Phase number.
+        phase: u16,
+        /// The sender's estimate.
+        est: bool,
+    },
+    /// Phase step 2: the sender's proposal (`None` = "?").
+    Propose {
+        /// Phase number.
+        phase: u16,
+        /// Proposed value, if the sender saw a majority.
+        val: Option<bool>,
+    },
+}
+
+impl Payload for BenOrMsg {
+    fn encoded_bits(&self) -> u32 {
+        match self {
+            // 1 tag bit + 16-bit phase + the estimate bit.
+            BenOrMsg::Report { .. } => 1 + 16 + 1,
+            // 1 tag bit + 16-bit phase + 2-bit option-of-bool.
+            BenOrMsg::Propose { .. } => 1 + 16 + 2,
+        }
+    }
+}
+
+/// Per-node Ben-Or state.
+pub struct BenOrNode {
+    n: usize,
+    f: usize,
+    /// Current estimate.
+    pub est: bool,
+    /// Decision, once reached (never changes afterwards).
+    pub decided: Option<bool>,
+    /// Own proposal from the report step, counted into the propose step.
+    proposal: Option<bool>,
+}
+
+impl Protocol for BenOrNode {
+    type Msg = BenOrMsg;
+
+    fn init(&mut self, ctx: &mut Ctx<'_, BenOrMsg>) {
+        ctx.send_all(BenOrMsg::Report {
+            phase: 0,
+            est: self.est,
+        });
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_, BenOrMsg>, inbox: &[(u32, BenOrMsg)]) {
+        let t = ctx.round();
+        if t % 2 == 1 {
+            // Step 1 → 2: count reports of phase (t-1)/2, broadcast proposal.
+            let phase = ((t - 1) / 2) as u16;
+            let mut count = [0usize; 2];
+            count[self.est as usize] += 1; // own report counts
+            for &(_, msg) in inbox {
+                if let BenOrMsg::Report { phase: p, est } = msg {
+                    debug_assert_eq!(p, phase, "lockstep phase skew");
+                    count[est as usize] += 1;
+                }
+            }
+            self.proposal = if count[1] * 2 > self.n {
+                Some(true)
+            } else if count[0] * 2 > self.n {
+                Some(false)
+            } else {
+                None
+            };
+            ctx.send_all(BenOrMsg::Propose {
+                phase,
+                val: self.proposal,
+            });
+        } else {
+            // Step 2 → 1: count proposals of phase (t-2)/2, update the
+            // estimate (decide / adopt / coin), broadcast the next report.
+            let phase = ((t - 2) / 2) as u16;
+            let mut count = [0usize; 2];
+            if let Some(v) = self.proposal {
+                count[v as usize] += 1; // own proposal counts
+            }
+            for &(_, msg) in inbox {
+                if let BenOrMsg::Propose { phase: p, val } = msg {
+                    debug_assert_eq!(p, phase, "lockstep phase skew");
+                    if let Some(v) = val {
+                        count[v as usize] += 1;
+                    }
+                }
+            }
+            // At most one value is proposed per phase (majorities over one
+            // report multiset cannot disagree, even on subsets).
+            debug_assert!(count[0] == 0 || count[1] == 0);
+            if self.decided.is_none() {
+                let v = count[1] > 0;
+                // Ben-Or's decide threshold: more than f identical proposals
+                // guarantee at least one survives into every other node's
+                // next-phase view.
+                if count[v as usize] > self.f {
+                    self.decided = Some(v);
+                    self.est = v;
+                } else if count[v as usize] >= 1 {
+                    self.est = v;
+                } else {
+                    self.est = ctx.rng.gen_bool(0.5);
+                }
+            }
+            // Decided or not, keep reporting: others may still need the
+            // (f+1)-quorum this node contributes to.
+            ctx.send_all(BenOrMsg::Report {
+                phase: phase + 1,
+                est: self.est,
+            });
+        }
+    }
+}
+
+/// The result of a consensus run.
+#[derive(Clone, Debug)]
+pub struct ConsensusOutcome {
+    /// Per-node decision (`None` = undecided within the phase cap — always
+    /// the case for crashed nodes).
+    pub decisions: Vec<Option<bool>>,
+    /// CONGEST metrics of the run (rounds, bits, drops, crashes).
+    pub metrics: Metrics,
+}
+
+impl ConsensusOutcome {
+    /// The unique decided value, if at least one node decided and no two
+    /// decided nodes disagree.
+    pub fn agreed_value(&self) -> Option<bool> {
+        let mut it = self.decisions.iter().flatten();
+        let first = *it.next()?;
+        it.all(|&v| v == first).then_some(first)
+    }
+}
+
+/// Run Ben-Or binary consensus with inputs `inputs[i]` for node `i`,
+/// tolerating up to `f` crash-stop failures, for at most `max_phases`
+/// phases (2 rounds each). `plan` attaches the fault schedule; pass `None`
+/// (or a trivial plan — they are bit-identical) for a fault-free run.
+///
+/// Exhausting the phase cap is **not** an error — liveness is randomized —
+/// and undecided nodes simply report `None`. Budget violations propagate.
+///
+/// # Panics
+/// Panics if the graph is not complete (the protocol broadcasts to
+/// everyone), `inputs` has the wrong length, `2f ≥ n`, or `max_phases`
+/// exceeds the 16-bit phase counter.
+#[allow(clippy::too_many_arguments)]
+pub fn run_consensus(
+    g: &Graph,
+    inputs: &[bool],
+    f: usize,
+    max_phases: u64,
+    budget_bits: u32,
+    engine: EngineKind,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Result<ConsensusOutcome, RunError> {
+    let n = g.n();
+    assert!(
+        (0..n).all(|u| g.degree(u) == n - 1),
+        "Ben-Or consensus needs a complete graph"
+    );
+    assert_eq!(inputs.len(), n, "one input bit per node");
+    assert!(2 * f < n, "crash-stop Ben-Or requires f < n/2 (f={f}, n={n})");
+    assert!(max_phases < MAX_PHASES, "phase counter is 16-bit");
+    let make = |id: usize| BenOrNode {
+        n,
+        f,
+        est: inputs[id],
+        decided: None,
+        proposal: None,
+    };
+    let mut net = match plan {
+        Some(plan) => Network::with_faults(g, make, budget_bits, engine, seed, plan),
+        None => Network::new(g, make, budget_bits, engine, seed),
+    };
+    let all_live_decided = |net: &Network<'_, BenOrNode>| {
+        let round = net.metrics().rounds;
+        (0..n).all(|i| {
+            net.node(i).decided.is_some()
+                || net
+                    .fault_plan()
+                    .is_some_and(|p| p.crashed_by(i, round))
+        })
+    };
+    match net.run_until(all_live_decided, 2 * max_phases) {
+        Ok(()) | Err(RunError::RoundLimit(_)) => {}
+        Err(e) => return Err(e),
+    }
+    Ok(ConsensusOutcome {
+        decisions: (0..n).map(|i| net.node(i).decided).collect(),
+        metrics: net.metrics(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+
+    const BUDGET: u32 = 64;
+
+    fn run(
+        n: usize,
+        inputs: &[bool],
+        f: usize,
+        seed: u64,
+        plan: Option<FaultPlan>,
+    ) -> ConsensusOutcome {
+        let g = gen::complete(n);
+        run_consensus(
+            &g,
+            inputs,
+            f,
+            200,
+            BUDGET,
+            EngineKind::Sequential,
+            seed,
+            plan,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validity_unanimous_inputs_decide_that_value_in_one_phase() {
+        for v in [false, true] {
+            let out = run(7, &[v; 7], 3, 1, None);
+            assert_eq!(out.agreed_value(), Some(v));
+            assert!(out.decisions.iter().all(|&d| d == Some(v)));
+            // Unanimity decides in the very first phase: 2 rounds of
+            // consensus work (plus the final report round run_until sees).
+            assert!(out.metrics.rounds <= 3, "rounds {}", out.metrics.rounds);
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_reach_agreement() {
+        let inputs = [true, false, true, false, true, false, true, false, true];
+        let out = run(9, &inputs, 4, 3, None);
+        let v = out.agreed_value().expect("all decided, one value");
+        assert!(out.decisions.iter().all(|&d| d == Some(v)));
+    }
+
+    #[test]
+    fn agreement_survives_f_crashes() {
+        let n = 9;
+        let f = 3;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 2 == 0).collect();
+        // Crash f nodes at staggered rounds, chosen by the plan's seed.
+        let plan = FaultPlan::new(n, 17)
+            .with_crash(1, 0)
+            .with_crash(4, 3)
+            .with_crash(6, 8);
+        let out = run(n, &inputs, f, 5, Some(plan));
+        let live: Vec<usize> = vec![0, 2, 3, 5, 7, 8];
+        let v = out.agreed_value().expect("survivors agree");
+        for i in live {
+            assert_eq!(out.decisions[i], Some(v), "live node {i}");
+        }
+        assert!(out.metrics.crashed_nodes > 0);
+    }
+
+    #[test]
+    fn deterministic_and_engine_equivalent() {
+        let n = 8;
+        let inputs: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let g = gen::complete(n);
+        let plan = FaultPlan::new(n, 9).with_drop_prob(0.1);
+        let a = run_consensus(
+            &g,
+            &inputs,
+            2,
+            200,
+            BUDGET,
+            EngineKind::Sequential,
+            5,
+            Some(plan.clone()),
+        )
+        .unwrap();
+        let b = run_consensus(
+            &g,
+            &inputs,
+            2,
+            200,
+            BUDGET,
+            EngineKind::Parallel,
+            5,
+            Some(plan),
+        )
+        .unwrap();
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn trivial_plan_matches_no_plan() {
+        let n = 6;
+        let inputs = [true, true, false, false, true, false];
+        let a = run(n, &inputs, 2, 11, None);
+        let b = run(n, &inputs, 2, 11, Some(FaultPlan::new(n, 55)));
+        assert_eq!(a.decisions, b.decisions);
+        assert_eq!(a.metrics, b.metrics);
+    }
+}

@@ -19,14 +19,30 @@
 //!   `O(τ log n + n/β)` regime).
 //! * [`coverage`] — Definition 3 checkers and the rounds-to-spread measurement.
 //! * [`apps`] — downstream uses cited by the paper: full information
-//!   spreading, leader election, and distributed maximum coverage \[4, 5\].
+//!   spreading, leader election (random-rank dissemination), and
+//!   distributed maximum coverage \[4, 5\].
+//! * [`consensus`] — Ben-Or-style randomized binary consensus on the
+//!   CONGEST substrate, runnable under its fault plane.
+//!
+//! ## Faults
+//!
+//! The gossip process shares the substrate's
+//! [`FaultPlan`](lmt_congest::fault::FaultPlan): [`Gossip::with_faults`]
+//! applies crash-stop schedules and per-direction drop decisions to the
+//! exchange contacts with the same seeded-stream discipline the routing
+//! plane uses, so faulty runs stay deterministic and a trivial plan is
+//! bit-identical to a fault-free one. [`apps::elect_leader_faulty`] and
+//! [`apps::rounds_to_full_spread_faulty`] measure the applications'
+//! completion under those schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod consensus;
 pub mod coverage;
 pub mod pushpull;
 
+pub use consensus::{run_consensus, ConsensusOutcome};
 pub use coverage::{coverage_stats, CoverageStats};
 pub use pushpull::{Gossip, GossipMode};

@@ -17,8 +17,9 @@
 //! and the partner's pull happen on the sampled contact edge, matching the
 //! standard synchronous push–pull formulation).
 
+use lmt_congest::fault::FaultPlan;
 use lmt_graph::Graph;
-use lmt_util::rng::RngFanout;
+use lmt_util::rng::{stream_seed, RngFanout};
 use lmt_util::BitSet;
 use rand::seq::IteratorRandom;
 use rand::Rng;
@@ -41,8 +42,11 @@ pub struct Gossip<'g> {
     /// `tokens[i]` = set of token ids node `i` currently holds.
     tokens: Vec<BitSet>,
     round: u64,
-    /// Total token transmissions so far (one token over one edge direction).
+    /// Total token transmissions so far (one token over one edge direction;
+    /// only *delivered* transfers count under faults).
     pub transmissions: u64,
+    /// Fault schedule, shared with the CONGEST substrate's fault layer.
+    fault: Option<FaultPlan>,
 }
 
 impl<'g> Gossip<'g> {
@@ -68,7 +72,39 @@ impl<'g> Gossip<'g> {
             tokens,
             round: 0,
             transmissions: 0,
+            fault: None,
         }
+    }
+
+    /// [`Gossip::new`] with a fault schedule attached. Crash-stop nodes
+    /// stop initiating contacts from their crash round on and contacts
+    /// *to* them fail outright; each exchange direction is additionally
+    /// lost with the plan's drop probability. Drop decisions are per
+    /// `(directed edge, round)` under the plan's [`FaultPlan::edge_rng`]
+    /// discipline — if both endpoints pick each other in one round, the
+    /// shared direction shares one decision (a per-direction outage, not
+    /// two independent coin flips). A trivial plan is bit-identical to
+    /// [`Gossip::new`].
+    ///
+    /// # Panics
+    /// Panics if the plan covers a different node count, or on isolated
+    /// nodes (as [`Gossip::new`]).
+    pub fn with_faults(g: &'g Graph, mode: GossipMode, seed: u64, plan: FaultPlan) -> Self {
+        assert_eq!(
+            plan.n(),
+            g.n(),
+            "fault plan covers {} nodes but the graph has {}",
+            plan.n(),
+            g.n()
+        );
+        let mut gp = Gossip::new(g, mode, seed);
+        gp.fault = Some(plan);
+        gp
+    }
+
+    /// The attached fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Rounds executed so far.
@@ -90,9 +126,14 @@ impl<'g> Gossip<'g> {
     pub fn step(&mut self) {
         self.round += 1;
         let n = self.g.n();
+        let round = self.round;
         // Sample every node's contact for this round (deterministic per
-        // (seed, node, round) so runs are reproducible).
-        let round_fan = RngFanout::new(self.seed ^ self.round.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // (seed, node, round) so runs are reproducible). The per-round
+        // fan-out is rooted at the SplitMix64 finalize of (seed, round):
+        // the previous affine scheme `seed ^ round * C` let seed pairs at
+        // XOR distance `r1*C ^ r2*C` replay each other's rounds shifted by
+        // `r2 - r1` (see `lmt_util::rng::stream_seed`).
+        let round_fan = RngFanout::new(stream_seed(self.seed, round));
         let contacts: Vec<usize> = (0..n)
             .map(|i| {
                 let mut rng = round_fan.node(i);
@@ -100,31 +141,65 @@ impl<'g> Gossip<'g> {
                 self.g.neighbor(i, rng.gen_range(0..d))
             })
             .collect();
+        let fault = self.fault.as_ref();
+        // One drop decision per (directed edge, round), same discipline as
+        // the CONGEST routing plane. No RNG is built at zero drop rate, so
+        // trivial plans stay bit-identical to no plan.
+        let dir_lost = |plan: &FaultPlan, from: usize, to: usize| {
+            plan.drop_prob() > 0.0
+                && plan.drops(&mut plan.edge_rng(round, from as u32, to as u32))
+        };
         match self.mode {
             GossipMode::Local => {
                 // Merge full sets across each contact (push + pull).
                 for (i, &j) in contacts.iter().enumerate() {
-                    // push i -> j
+                    if let Some(plan) = fault {
+                        // A dead initiator makes no contact; a contact to a
+                        // dead partner fails in both directions.
+                        if plan.crashed_by(i, round) || plan.crashed_by(j, round) {
+                            continue;
+                        }
+                    }
+                    let push = fault.is_none_or(|p| !dir_lost(p, i, j));
+                    let pull = fault.is_none_or(|p| !dir_lost(p, j, i));
                     let (a, b) = two_mut(&mut self.tokens, i, j);
-                    self.transmissions += b.union_with(a) as u64;
-                    // pull j -> i
-                    self.transmissions += a.union_with(b) as u64;
+                    if push {
+                        // push i -> j
+                        self.transmissions += b.union_with(a) as u64;
+                    }
+                    if pull {
+                        // pull j -> i
+                        self.transmissions += a.union_with(b) as u64;
+                    }
                 }
             }
             GossipMode::CongestLimited => {
                 // One random useful token per direction per contact.
                 for (i, &j) in contacts.iter().enumerate() {
+                    if let Some(plan) = fault {
+                        if plan.crashed_by(i, round) || plan.crashed_by(j, round) {
+                            continue;
+                        }
+                    }
+                    let push = fault.is_none_or(|p| !dir_lost(p, i, j));
+                    let pull = fault.is_none_or(|p| !dir_lost(p, j, i));
                     let mut rng = round_fan.aux(i as u64);
                     let (a, b) = two_mut(&mut self.tokens, i, j);
-                    // push: a random token of i that j misses.
+                    // push: a random token of i that j misses. The token is
+                    // chosen (and the RNG consumed) whether or not the
+                    // direction drops — the sender transmits either way.
                     if let Some(t) = a.iter().filter(|&t| !b.contains(t)).choose(&mut rng) {
-                        b.insert(t);
-                        self.transmissions += 1;
+                        if push {
+                            b.insert(t);
+                            self.transmissions += 1;
+                        }
                     }
                     // pull: a random token of j that i misses.
                     if let Some(t) = b.iter().filter(|&t| !a.contains(t)).choose(&mut rng) {
-                        a.insert(t);
-                        self.transmissions += 1;
+                        if pull {
+                            a.insert(t);
+                            self.transmissions += 1;
+                        }
                     }
                 }
             }
@@ -139,15 +214,21 @@ impl<'g> Gossip<'g> {
     }
 
     /// Run until `pred(self)` holds (checked after each round) or the cap;
-    /// returns the rounds used, or `None` on cap exhaustion.
+    /// returns the number of rounds **this call** executed (`Some(0)` if
+    /// the predicate already held), or `None` on cap exhaustion.
+    ///
+    /// Earlier versions returned the cumulative [`Gossip::round`] counter,
+    /// which over-reported on instances that had already stepped; callers
+    /// that want the absolute round read [`Gossip::round`] directly.
     pub fn run_until(&mut self, mut pred: impl FnMut(&Self) -> bool, max_rounds: u64) -> Option<u64> {
+        let start = self.round;
         if pred(self) {
-            return Some(self.round);
+            return Some(0);
         }
         for _ in 0..max_rounds {
             self.step();
             if pred(self) {
-                return Some(self.round);
+                return Some(self.round - start);
             }
         }
         None
@@ -226,5 +307,70 @@ mod tests {
         assert!(gp
             .run_until(|s| (0..16).all(|i| s.tokens_of(i).len() == 16), 2)
             .is_none());
+    }
+
+    #[test]
+    fn run_until_counts_rounds_consumed_not_cumulative() {
+        let g = gen::path(12);
+        let mut gp = Gossip::new(&g, GossipMode::Local, 9);
+        gp.run(3);
+        let before = gp.round();
+        let used = gp
+            .run_until(|s| (0..12).all(|i| s.tokens_of(i).len() == 12), 500)
+            .unwrap();
+        // Regression: the old implementation returned the cumulative round
+        // counter, so a reused instance over-reported by `before` rounds.
+        assert_eq!(used, gp.round() - before);
+        assert!(used > 0);
+        // A predicate that already holds consumes zero rounds.
+        assert_eq!(
+            gp.run_until(|s| (0..12).all(|i| s.tokens_of(i).len() == 12), 10),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn trivial_fault_plan_is_bit_identical() {
+        let g = gen::random_regular(24, 4, 2);
+        for mode in [GossipMode::Local, GossipMode::CongestLimited] {
+            let mut a = Gossip::new(&g, mode, 11);
+            // The plan's own seed must not leak into fault-free execution.
+            let mut b = Gossip::with_faults(&g, mode, 11, FaultPlan::new(24, 77));
+            a.run(15);
+            b.run(15);
+            assert_eq!(a.tokens(), b.tokens());
+            assert_eq!(a.transmissions, b.transmissions);
+        }
+    }
+
+    #[test]
+    fn crashed_node_neither_gains_nor_gives_tokens() {
+        let g = gen::complete(10);
+        let victim = 4;
+        let plan = FaultPlan::new(10, 5).with_crash(victim, 1);
+        let mut gp = Gossip::with_faults(&g, GossipMode::Local, 3, plan);
+        gp.run(60);
+        // Crashed before its first contact round: still holds only its own
+        // token, and nobody else ever saw it.
+        assert_eq!(gp.tokens_of(victim).len(), 1);
+        for i in (0..10).filter(|&i| i != victim) {
+            assert!(!gp.tokens_of(i).contains(victim), "node {i} heard the victim");
+            // The nine live nodes still complete among themselves.
+            assert_eq!(gp.tokens_of(i).len(), 9, "node {i} incomplete");
+        }
+    }
+
+    #[test]
+    fn full_drop_rate_blocks_all_spreading() {
+        let g = gen::complete(8);
+        let plan = FaultPlan::new(8, 2).with_drop_prob(1.0);
+        for mode in [GossipMode::Local, GossipMode::CongestLimited] {
+            let mut gp = Gossip::with_faults(&g, mode, 7, plan.clone());
+            gp.run(20);
+            assert_eq!(gp.transmissions, 0);
+            for i in 0..8 {
+                assert_eq!(gp.tokens_of(i).len(), 1);
+            }
+        }
     }
 }

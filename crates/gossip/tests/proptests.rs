@@ -92,4 +92,42 @@ proptest! {
             prop_assert_eq!(a.tokens_of(i), b.tokens_of(i));
         }
     }
+
+    /// Attaching a trivial (zero-drop, no-crash) fault plan leaves every
+    /// node's token set and the transmission count bit-identical to the
+    /// fault-free constructor, in both gossip modes.
+    #[test]
+    fn trivial_fault_plan_is_invisible(g in connected_graph(), seed in any::<u64>(), fault_seed in any::<u64>(), rounds in 1u64..30) {
+        for mode in [GossipMode::Local, GossipMode::CongestLimited] {
+            let mut plain = Gossip::new(&g, mode, seed);
+            let plan = lmt_congest::FaultPlan::new(g.n(), fault_seed);
+            let mut faulty = Gossip::with_faults(&g, mode, seed, plan);
+            plain.run(rounds);
+            faulty.run(rounds);
+            prop_assert_eq!(plain.transmissions, faulty.transmissions);
+            for i in 0..g.n() {
+                prop_assert_eq!(plain.tokens_of(i), faulty.tokens_of(i));
+            }
+        }
+    }
+
+    /// A node crashed before round 0 keeps exactly its own token and leaks
+    /// it to nobody, at any drop probability layered on top.
+    #[test]
+    fn crashed_node_quarantined(g in connected_graph(), seed in any::<u64>(), fault_seed in any::<u64>(), victim_raw in any::<usize>(), drop_p in 0.0f64..0.9, rounds in 1u64..30) {
+        let victim = victim_raw % g.n();
+        let plan = lmt_congest::FaultPlan::new(g.n(), fault_seed)
+            .with_drop_prob(drop_p)
+            .with_crash(victim, 0);
+        let mut gossip = Gossip::with_faults(&g, GossipMode::Local, seed, plan);
+        gossip.run(rounds);
+        let victims = gossip.tokens_of(victim);
+        prop_assert_eq!(victims.iter().collect::<Vec<_>>(), vec![victim]);
+        for i in 0..g.n() {
+            if i != victim {
+                prop_assert!(!gossip.tokens_of(i).contains(victim),
+                    "node {i} learned the crash-at-0 victim {victim}'s token");
+            }
+        }
+    }
 }

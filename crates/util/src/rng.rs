@@ -19,13 +19,26 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Mix `(master_seed, stream_id)` into a derived 64-bit seed.
+///
+/// This is the finalizer behind [`fork`], exposed so call sites that need a
+/// derived *seed* (to root a whole sub-fan-out, e.g. one per round) use the
+/// same discipline. Unlike affine schemes such as
+/// `seed ^ round * CONSTANT`, the SplitMix64 scramble leaves no algebraic
+/// relation between `(s, r)` and `(s ^ delta, r')` pairs — two distinct
+/// master seeds cannot replay each other's per-stream sequences at shifted
+/// stream ids (pinned by `no_cross_seed_stream_replay` below).
+#[inline]
+pub fn stream_seed(master_seed: u64, stream_id: u64) -> u64 {
+    splitmix64(master_seed ^ splitmix64(stream_id))
+}
+
 /// Derive the RNG for stream `stream_id` from `master_seed`.
 ///
 /// Streams are independent for distinct ids in any practical sense: the seed
-/// is a SplitMix64 hash of the pair.
+/// is a SplitMix64 hash of the pair ([`stream_seed`]).
 pub fn fork(master_seed: u64, stream_id: u64) -> SmallRng {
-    let s = splitmix64(master_seed ^ splitmix64(stream_id));
-    SmallRng::seed_from_u64(s)
+    SmallRng::seed_from_u64(stream_seed(master_seed, stream_id))
 }
 
 /// A convenience holder handing out per-node RNGs for an `n`-node simulation.
@@ -83,6 +96,31 @@ mod tests {
         let mut n0 = f.node(0);
         let mut x0 = f.aux(0);
         assert_ne!(n0.gen::<u64>(), x0.gen::<u64>());
+    }
+
+    #[test]
+    fn no_cross_seed_stream_replay() {
+        // The bug this pins against (gossip's old per-round seeding):
+        // round_seed = s ^ r * C is affine in r, so the seed pair
+        // (s, s ^ (r1*C ^ r2*C)) replays round r1's stream at round r2.
+        const C: u64 = 0x9E37_79B9_7F4A_7C15;
+        let s = 0xDEAD_BEEF_u64;
+        let (r1, r2) = (1u64, 2u64);
+        let delta = C.wrapping_mul(r1) ^ C.wrapping_mul(r2);
+        // Sanity: the affine scheme really does collide for this pair.
+        assert_eq!(s ^ C.wrapping_mul(r1), (s ^ delta) ^ C.wrapping_mul(r2));
+        // The finalized scheme must not.
+        assert_ne!(stream_seed(s, r1), stream_seed(s ^ delta, r2));
+    }
+
+    #[test]
+    fn stream_seed_matches_fork() {
+        use rand::SeedableRng;
+        let mut a = fork(9, 4);
+        let mut b = SmallRng::seed_from_u64(stream_seed(9, 4));
+        for _ in 0..8 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ fn main() {
     );
     println!("✓ (δ,β)-partial spreading achieved within the τ-based budget\n");
 
-    // Application 1: leader election (min-id dissemination).
+    // Application 1: leader election (seeded random ranks, min-rank dissemination).
     let (leader, rounds) = elect_leader(&graph, GossipMode::Local, 5, 1 << 20).expect("leader");
     println!("leader election: node {leader} elected after {rounds} rounds");
 

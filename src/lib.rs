@@ -17,14 +17,16 @@
 
 /// One-stop imports for examples and integration tests.
 pub mod prelude {
-    pub use lmt_congest::{EngineKind, Metrics};
+    pub use lmt_congest::{EngineKind, FaultPlan, Metrics};
     pub use lmt_core::baselines::{das_sarma_style_estimate, estimate_global_mixing_time};
     pub use lmt_core::exact::local_mixing_time_exact_distributed;
     pub use lmt_core::general::local_mixing_time_general;
     pub use lmt_core::{local_mixing_time_approx, AlgoConfig};
     pub use lmt_gossip::apps::{
-        distributed_max_coverage, elect_leader, rounds_to_full_spread, CoverageInstance,
+        distributed_max_coverage, elect_leader, elect_leader_faulty, election_ranks,
+        rounds_to_full_spread, rounds_to_full_spread_faulty, CoverageInstance,
     };
+    pub use lmt_gossip::consensus::{run_consensus, ConsensusOutcome};
     pub use lmt_gossip::coverage::{coverage_stats, is_beta_spread, rounds_to_beta_spread};
     pub use lmt_gossip::{Gossip, GossipMode};
     pub use lmt_graph::{

@@ -287,6 +287,57 @@ mod routing_mixer {
         format!("{hashes:?} | {:?}", net.metrics())
     }
 
+    /// [`digest`] on a faulty network: two crash-stop nodes (one at round
+    /// 0, one mid-run) and a 25% drop rate, all derived from `fault_seed`.
+    /// Drop decisions are per (directed edge, round) and crash gating is
+    /// per node — neither depends on shard layout, so this digest must be
+    /// engine- and width-stable exactly like the fault-free one.
+    pub fn faulty_digest(
+        g: &lmt_graph::Graph,
+        engine: EngineKind,
+        seed: u64,
+        fault_seed: u64,
+    ) -> String {
+        let n = g.n();
+        let plan = lmt_congest::FaultPlan::new(n, fault_seed)
+            .with_drop_prob(0.25)
+            .with_crash(fault_seed as usize % n, 0)
+            .with_crash((fault_seed as usize / 7) % n, 3);
+        let mut net = Network::with_faults(
+            g,
+            move |_| Mixer {
+                hash: 0xcbf29ce484222325,
+                horizon: ROUNDS,
+            },
+            lmt_congest::message::olog_budget(g.n(), 8),
+            engine,
+            seed,
+            plan,
+        );
+        net.run_rounds(ROUNDS).expect("faulty mixer run");
+        let hashes: Vec<u64> = net.node_states().map(|s| s.hash).collect();
+        format!("{hashes:?} | {:?}", net.metrics())
+    }
+
+    /// [`digest`] with a *trivial* fault plan attached — must be
+    /// bit-identical to running with no plan at all.
+    pub fn trivial_plan_digest(g: &lmt_graph::Graph, engine: EngineKind, seed: u64) -> String {
+        let mut net = Network::with_faults(
+            g,
+            move |_| Mixer {
+                hash: 0xcbf29ce484222325,
+                horizon: ROUNDS,
+            },
+            lmt_congest::message::olog_budget(g.n(), 8),
+            engine,
+            seed,
+            lmt_congest::FaultPlan::new(g.n(), 0xFA17),
+        );
+        net.run_rounds(ROUNDS).expect("trivial-plan mixer run");
+        let hashes: Vec<u64> = net.node_states().map(|s| s.hash).collect();
+        format!("{hashes:?} | {:?}", net.metrics())
+    }
+
     /// Warm the arenas through two full send-pattern cycles, then assert
     /// the message plane stops allocating (at whatever shard layout the
     /// current pool width implies).
@@ -315,6 +366,43 @@ proptest! {
         prop_assume!(props::is_connected(&g));
         let results = at_widths(|| {
             both_engines(|engine| routing_mixer::digest(&g, engine, seed ^ 0x209))
+        });
+        assert_width_table!(results);
+    }
+
+    /// The fault plane (PR 7): the same mixer under crashes + 25% drops
+    /// must stay bit-identical across engines and pool widths — the drop
+    /// RNG is keyed per (directed edge, round) precisely so shard layout
+    /// cannot reorder its draws.
+    #[test]
+    fn faulty_routing_parallel_equals_sequential((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            both_engines(|engine| {
+                routing_mixer::faulty_digest(&g, engine, seed ^ 0x209, seed ^ 0xFA)
+            })
+        });
+        assert_width_table!(results);
+        // Faults actually fired: the round-0 crash victim absorbs nothing,
+        // so the faulty digest cannot equal the fault-free one.
+        let plain = routing_mixer::digest(&g, EngineKind::Sequential, seed ^ 0x209);
+        prop_assert!(results[0].1 .0 != plain, "fault plan had no effect");
+    }
+
+    /// A trivial (fault-free) plan attached to the network must be
+    /// bit-identical to no plan, across engines and widths.
+    #[test]
+    fn trivial_fault_plan_is_transparent((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let results = at_widths(|| {
+            both_engines(|engine| {
+                let plain = routing_mixer::digest(&g, engine, seed ^ 0x209);
+                let trivial = routing_mixer::trivial_plan_digest(&g, engine, seed ^ 0x209);
+                assert_eq!(plain, trivial, "trivial plan perturbed the run");
+                plain
+            })
         });
         assert_width_table!(results);
     }
