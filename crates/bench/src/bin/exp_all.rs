@@ -1,5 +1,5 @@
-//! Run the full experiment suite (T1–T13 + F1 + E1) in order, printing
-//! each table — this is what `EXPERIMENTS.md` records.
+//! Run the full experiment suite (T1–T13 + F1 + E1 + service) in order,
+//! printing each table — this is what `EXPERIMENTS.md` records.
 //!
 //! Usage: `cargo run -p lmt-bench --release --bin exp_all`
 //! (build the siblings first: `cargo build --release -p lmt-bench --bins`)
@@ -32,6 +32,7 @@ fn main() -> ExitCode {
         "exp_t12_source_sensitivity",
         "exp_t13_upcast_ablation",
         "exp_e1_engine_ab",
+        "exp_service",
     ];
     // Invoke sibling binaries from the same target directory.
     let me = std::env::current_exe().expect("own path");

@@ -1,0 +1,83 @@
+//! Service experiment — sustained τ-query throughput of the `lmt-service`
+//! layer on a 10⁵-node-scale graph, cold cache vs warm.
+//!
+//! Workload: a random regular expander at n = 2¹⁷ = 131072 (d = 8), with
+//! `SOURCES` query sources spread evenly across the node range, all at
+//! `(β = 8, ε)` — the serving-tier shape the ROADMAP's "millions of
+//! queries" north star describes. Two regimes, timed as sweep cells:
+//!
+//! * `service_cold` — a fresh [`TauService`](lmt_service::TauService) per
+//!   rep: every rep pays the coalesced block evolutions.
+//! * `service_warm` — one pre-warmed service, every rep a pure cache
+//!   replay through the stored sorted snapshots (the sustained regime).
+//!
+//! The warm path's answers are asserted bit-equal to a cold run's inside
+//! the sweep runner, so the printed speedup is a like-for-like comparison
+//! of identical answers. Emits `BENCH_service.json`; queries/sec derive
+//! from the recorded medians (single batch of `SOURCES` queries per rep).
+//! All numbers are 1-CPU container wall clocks — compare shapes, not
+//! absolute throughput, across hosts.
+
+use lmt_bench::record::bench_dir;
+use lmt_bench::spec::{EngineChoice, FaultSpec, GraphSpec, SweepSpec, Weighting};
+use lmt_bench::sweep::{render_table, run_sweep};
+use lmt_bench::EPS;
+use lmt_util::table::Table;
+
+/// Sources per batch (one query each): 2 full `SWEEP_BLOCK = 8` blocks.
+const SOURCES: usize = 16;
+
+fn main() {
+    let spec = SweepSpec {
+        tag: "service".into(),
+        reps: 3,
+        max_t: 100_000,
+        graphs: vec![GraphSpec::Expander {
+            n: 1 << 17,
+            d: 8,
+            seed: 7,
+        }],
+        weightings: vec![Weighting::Unit],
+        betas: vec![8.0],
+        epsilons: vec![EPS],
+        faults: vec![FaultSpec::None],
+        engines: vec![EngineChoice::ServiceCold, EngineChoice::ServiceWarm],
+        threads: vec![1],
+        service_sources: SOURCES,
+    };
+    eprintln!(
+        "exp_service: n = {}, {} sources per batch, {} reps",
+        1usize << 17,
+        SOURCES,
+        spec.reps
+    );
+
+    let record = run_sweep(&spec);
+    print!("{}", render_table(&record));
+
+    // Derive queries/sec from the recorded medians: each rep answers one
+    // batch of SOURCES queries.
+    let mut table = Table::new(
+        "τ-as-a-service: sustained throughput (median of 3)".to_string(),
+        &["regime", "τ (max over sources)", "median ms/batch", "queries/s"],
+    );
+    for cell in &record.cells {
+        let timing = cell.timing.expect("service cells are always timed");
+        table.row(&[
+            cell.engine.clone(),
+            cell.tau.map_or("-".into(), |t| t.to_string()),
+            format!("{:.3}", timing.median_ms),
+            format!("{:.1}", SOURCES as f64 / (timing.median_ms / 1000.0)),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("warm answers asserted bit-equal to cold before timing (sweep runner).");
+
+    match record.write_to(&bench_dir()) {
+        Ok(path) => println!("record: {}", path.display()),
+        Err(e) => {
+            eprintln!("exp_service: cannot write record: {e}");
+            std::process::exit(2);
+        }
+    }
+}

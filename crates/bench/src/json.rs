@@ -16,9 +16,22 @@
 //!   exact. Non-finite values are unrepresentable in JSON; the writer
 //!   panics on them (records only ever hold finite numbers).
 //! * **Strict parser**: rejects trailing garbage, unterminated strings,
-//!   bad escapes, and bare `NaN`/`Infinity`, reporting the byte offset.
+//!   bad escapes, bare `NaN`/`Infinity`, duplicate object keys, and
+//!   nesting beyond [`MAX_DEPTH`] (an adversarial 10k-deep document is an
+//!   offset-carrying [`JsonError`], not a stack overflow), reporting the
+//!   byte offset in every case.
 
 use std::fmt::Write as _;
+
+/// Maximum container nesting depth the parser accepts. Far above any spec
+/// or record shape (≤ 4 levels), far below what recursion could overflow.
+pub const MAX_DEPTH: usize = 128;
+
+/// Largest integer `f64` represents exactly (2⁵³). Above this, distinct
+/// integer literals collapse to the same float, so both the reader
+/// ([`Json::as_u64`]) and the writer ([`Json::from::<u64>`]) refuse —
+/// a silent off-by-one in a τ column must never round-trip.
+pub const MAX_EXACT_INT: u64 = 1 << 53;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,11 +89,14 @@ impl Json {
         }
     }
 
-    /// Non-negative integer value, if this is a number that is one.
+    /// Non-negative integer value, if this is a number that is exactly
+    /// one. Values at or above [`MAX_EXACT_INT`] are rejected: `2⁵³` and
+    /// `2⁵³ + 1` parse to the same `f64`, so such a literal cannot be
+    /// trusted to mean the integer it spells.
     pub fn as_u64(&self) -> Option<u64> {
         self.as_f64().and_then(|v| {
             let u = v as u64;
-            (u as f64 == v).then_some(u)
+            (u as f64 == v && u < MAX_EXACT_INT).then_some(u)
         })
     }
 
@@ -126,6 +142,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -215,9 +232,13 @@ impl From<f64> for Json {
 
 impl From<u64> for Json {
     /// # Panics
-    /// Panics above 2⁵³, where `f64` loses integer exactness.
+    /// Panics at or above [`MAX_EXACT_INT`] (2⁵³), where `f64` loses
+    /// integer exactness — mirror of the [`Json::as_u64`] read-side bound.
     fn from(v: u64) -> Json {
-        assert!(v <= (1u64 << 53), "integer {v} exceeds f64 exactness (2^53)");
+        assert!(
+            v < MAX_EXACT_INT,
+            "integer {v} exceeds f64 exactness (2^53)"
+        );
         Json::Num(v as f64)
     }
 }
@@ -282,6 +303,7 @@ fn write_escaped(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -429,12 +451,24 @@ impl Parser<'_> {
         }
     }
 
+    /// Bump the container depth, rejecting adversarially deep documents
+    /// before recursion can overflow the stack.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
+        self.descend()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -445,6 +479,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
@@ -454,15 +489,24 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
-        let mut pairs = Vec::new();
+        self.descend()?;
+        let mut pairs: Vec<(String, Json)> = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(pairs));
         }
         loop {
             self.skip_ws();
+            let key_offset = self.pos;
             let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(JsonError {
+                    offset: key_offset,
+                    msg: format!("duplicate key {key:?}"),
+                });
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -473,6 +517,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(pairs));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
@@ -565,6 +610,69 @@ mod tests {
     fn error_reports_offset() {
         let e = Json::parse("[1, x]").unwrap_err();
         assert_eq!(e.offset, 4);
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_crash() {
+        // 10k-deep adversarial documents must come back as offset-carrying
+        // errors; without the depth cap each of these would overflow the
+        // parser's recursion and abort the process.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let bomb = format!("{}null{}", open.repeat(10_000), close.repeat(10_000));
+            let e = Json::parse(&bomb).unwrap_err();
+            assert!(e.msg.contains("nesting deeper"), "{e}");
+            // The error fires just after the opener that crossed the cap.
+            assert_eq!(e.offset, open.len() * MAX_DEPTH + 1, "offset at the limit");
+        }
+        // Exactly at the limit is still fine.
+        let ok = format!("{}null{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_with_offset() {
+        let e = Json::parse(r#"{"a": 1, "b": 2, "a": 3}"#).unwrap_err();
+        assert!(e.msg.contains("duplicate key \"a\""), "{e}");
+        assert_eq!(e.offset, 17, "offset points at the second \"a\"");
+        // Duplicates buried in nested objects are caught too.
+        assert!(Json::parse(r#"{"x": {"y": 1, "y": 2}}"#).is_err());
+    }
+
+    #[test]
+    fn huge_integers_do_not_silently_mangle() {
+        // 2^53 and 2^53 + 1 spell different integers but parse to the same
+        // f64 — the reader must refuse rather than return the wrong one.
+        let ambiguous = Json::parse("9007199254740993").unwrap(); // 2^53 + 1
+        assert_eq!(ambiguous.as_u64(), None);
+        assert_eq!(Json::parse("9007199254740992").unwrap().as_u64(), None); // 2^53
+        assert_eq!(Json::parse("18446744073709551616").unwrap().as_u64(), None); // 2^64
+        // The float view stays available for callers that want it.
+        assert!(ambiguous.as_f64().is_some());
+        // The largest trustworthy integer round-trips exactly.
+        let max_ok = MAX_EXACT_INT - 1;
+        assert_eq!(Json::parse(&max_ok.to_string()).unwrap().as_u64(), Some(max_ok));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds f64 exactness")]
+    fn writer_panics_on_inexact_integer() {
+        let _ = Json::from(MAX_EXACT_INT);
+    }
+
+    #[test]
+    fn truncated_documents_error_at_the_cut() {
+        for truncated in [
+            "{\"a\": [1, {\"b\"",  // object cut after a nested key
+            "{\"a\": tr",          // literal cut mid-word
+            "[1, 2, ",             // array cut after a comma
+            "\"abc\\u00",          // \u escape cut mid-hex
+            "\"abc\\",             // escape introducer at end of input
+            "{\"a\": 1,",          // object cut expecting the next key
+            "123e",                // number cut mid-exponent
+        ] {
+            let e = Json::parse(truncated).unwrap_err();
+            assert!(e.offset <= truncated.len(), "{truncated:?} -> {e}");
+        }
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct SweepSpec {
     pub engines: Vec<EngineChoice>,
     /// `LMT_THREADS` pool-width dimension.
     pub threads: Vec<usize>,
+    /// How many sources the τ-service engines (`service_cold`,
+    /// `service_warm`) query per cell (sources `0, n/q, 2n/q, …` — spread
+    /// across the graph). Ignored — and rejected if spelled out — without a
+    /// service engine.
+    pub service_sources: usize,
 }
 
 /// One graph family + size from the generator zoo.
@@ -183,6 +188,12 @@ pub enum EngineChoice {
     Elect,
     /// Gossip full information spreading (rounds to live completion).
     Spread,
+    /// The τ-service (`lmt-service`) answering a query batch on a **fresh**
+    /// service — every rep pays the evolutions (cold cache).
+    ServiceCold,
+    /// The τ-service answering the same batch on a **pre-warmed** service —
+    /// every rep is pure cache replay (the sustained-QPS regime).
+    ServiceWarm,
 }
 
 /// A built cell substrate: the topology's weighted/unweighted variant.
@@ -253,12 +264,19 @@ impl EngineChoice {
             EngineChoice::Dense => "dense",
             EngineChoice::Elect => "elect",
             EngineChoice::Spread => "spread",
+            EngineChoice::ServiceCold => "service_cold",
+            EngineChoice::ServiceWarm => "service_warm",
         }
     }
 
     /// True for the gossip-application engines (vs the τ implementations).
     pub fn is_app(&self) -> bool {
         matches!(self, EngineChoice::Elect | EngineChoice::Spread)
+    }
+
+    /// True for the τ-service engines (`service_cold`, `service_warm`).
+    pub fn is_service(&self) -> bool {
+        matches!(self, EngineChoice::ServiceCold | EngineChoice::ServiceWarm)
     }
 }
 
@@ -453,7 +471,11 @@ fn parse_engine(v: &Json) -> Result<EngineChoice, String> {
         Some("dense") => Ok(EngineChoice::Dense),
         Some("elect") => Ok(EngineChoice::Elect),
         Some("spread") => Ok(EngineChoice::Spread),
-        _ => Err("engines: entries must be \"engine\", \"dense\", \"elect\" or \"spread\"".into()),
+        Some("service_cold") => Ok(EngineChoice::ServiceCold),
+        Some("service_warm") => Ok(EngineChoice::ServiceWarm),
+        _ => Err("engines: entries must be \"engine\", \"dense\", \"elect\", \"spread\", \
+                  \"service_cold\" or \"service_warm\""
+            .into()),
     }
 }
 
@@ -485,6 +507,7 @@ impl SweepSpec {
                 "faults",
                 "engines",
                 "threads",
+                "service_sources",
             ],
             "spec",
         )?;
@@ -582,6 +605,19 @@ impl SweepSpec {
                 })
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let service_sources = match v.get("service_sources") {
+            None => 16,
+            Some(s) => {
+                if !engines.iter().any(EngineChoice::is_service) {
+                    return Err("spec: \"service_sources\" needs a service engine \
+                                (service_cold, service_warm)"
+                        .into());
+                }
+                s.as_usize()
+                    .filter(|s| *s >= 1)
+                    .ok_or("spec: \"service_sources\" must be an integer ≥ 1")?
+            }
+        };
 
         Ok(SweepSpec {
             tag,
@@ -594,6 +630,7 @@ impl SweepSpec {
             faults,
             engines,
             threads,
+            service_sources,
         })
     }
 
@@ -654,6 +691,36 @@ mod tests {
         assert_eq!(s.faults, [FaultSpec::None]);
         assert_eq!(s.engines, [EngineChoice::Engine]);
         assert_eq!(s.threads, [1]);
+        assert_eq!(s.service_sources, 16);
+    }
+
+    #[test]
+    fn parses_service_engines_and_sources() {
+        let s = SweepSpec::parse(
+            r#"{"tag": "svc", "graphs": [{"family": "clique_ring", "beta": 4, "k": 8}],
+                "betas": [4], "epsilons": [0.1],
+                "weightings": ["unit", {"kind": "uniform", "w": 2.0}],
+                "engines": ["engine", "service_cold", "service_warm"],
+                "service_sources": 5}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.engines,
+            [
+                EngineChoice::Engine,
+                EngineChoice::ServiceCold,
+                EngineChoice::ServiceWarm,
+            ]
+        );
+        assert_eq!(s.service_sources, 5);
+        assert_eq!(EngineChoice::ServiceCold.label(), "service_cold");
+        assert_eq!(EngineChoice::ServiceWarm.label(), "service_warm");
+        // Service engines are τ engines (weighted graphs allowed, faults
+        // not), not gossip applications.
+        assert!(EngineChoice::ServiceCold.is_service());
+        assert!(EngineChoice::ServiceWarm.is_service());
+        assert!(!EngineChoice::ServiceCold.is_app());
+        assert!(!EngineChoice::Engine.is_service());
     }
 
     #[test]
@@ -696,6 +763,14 @@ mod tests {
             // Non-trivial faults demand app engines.
             (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
                  "faults":[{"kind":"drop","p":0.5,"seed":1}],"engines":["engine","elect"]}"#, "fault hook"),
+            // … which also excludes the τ-service engines.
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "faults":[{"kind":"drop","p":0.5,"seed":1}],"engines":["service_warm"]}"#, "fault hook"),
+            // service_sources is meaningless without a service engine.
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "service_sources":4}"#, "service engine"),
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "engines":["service_cold"],"service_sources":0}"#, "≥ 1"),
             // Degenerate fault values are spelled "none", not 0.
             (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
                  "faults":[{"kind":"drop","p":0.0,"seed":1}],"engines":["elect"]}"#, "0 < p"),
@@ -718,6 +793,8 @@ mod tests {
             (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1],"thread":[1]}"#, "thread"),
             (r#"{"tag":"t","graphs":[{"family":"path","n":8,"m":2}],"betas":[2],"epsilons":[0.1]}"#, "\"m\""),
             (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"epsilons":[0.1],"weightings":[{"kind":"uniform","w":1,"x":2}]}"#, "\"x\""),
+            // Duplicate keys die in the JSON layer, offset and all.
+            (r#"{"tag":"t","graphs":[{"family":"path","n":8}],"betas":[2],"betas":[3],"epsilons":[0.1]}"#, "duplicate key"),
         ] {
             let e = SweepSpec::parse(bad).unwrap_err();
             assert!(e.contains(needle), "{bad} -> {e}");

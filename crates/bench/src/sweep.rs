@@ -18,13 +18,22 @@
 //! (`null` = the cap was exhausted — under faults a legitimate outcome,
 //! not an error). Fault-free cells keep the pre-fault-dimension scenario
 //! keys (no `|fault=` segment), so existing golden records still match.
+//!
+//! Service cells (`service_cold`, `service_warm`) time a
+//! [`TauService`] batch over `service_sources` sources spread across the
+//! graph — cold builds a fresh service per rep (every rep pays the
+//! evolutions), warm replays a pre-warmed cache. Warm answers are asserted
+//! bit-equal to a cold run's before timing, so both cells record the same
+//! τ column (max over the sampled sources) and the diff gate sees
+//! cache-correctness regressions as τ mismatches.
 
 use lmt_gossip::apps::{
     elect_leader, elect_leader_faulty, rounds_to_full_spread, rounds_to_full_spread_faulty,
 };
 use lmt_gossip::GossipMode;
 use lmt_graph::props::bipartition;
-use lmt_graph::Graph;
+use lmt_graph::{Graph, WalkGraph};
+use lmt_service::{ServiceConfig, TauAnswer, TauQuery, TauService};
 use lmt_walks::local::{FlatPolicy, LocalMixOptions, SizeGrid};
 use lmt_walks::WalkKind;
 
@@ -67,6 +76,81 @@ fn dense_tau(g: &AnyGraph, src: usize, opts: &LocalMixOptions) -> u64 {
         AnyGraph::Unweighted(g) => dense_reference::local_mixing_time(g, src, opts),
         AnyGraph::Weighted(g) => dense_reference::local_mixing_time(g, src, opts),
     }) as u64
+}
+
+/// The τ column of a service cell: `Some(max τ)` iff every sampled source
+/// mixed within the cap.
+fn service_taus(answers: &[TauAnswer]) -> Option<u64> {
+    answers
+        .iter()
+        .map(|a| a.result.as_ref().ok().map(|r| r.tau as u64))
+        .collect::<Option<Vec<u64>>>()
+        .and_then(|taus| taus.into_iter().max())
+}
+
+/// Assert `replay` carries the same answers as `cold`, witness bits
+/// included — the warm cell's correctness net.
+fn assert_service_replay(replay: &[TauAnswer], cold: &[TauAnswer], what: &str) {
+    assert_eq!(replay.len(), cold.len(), "{what}: answer count changed");
+    for (r, c) in replay.iter().zip(cold) {
+        match (&r.result, &c.result) {
+            (Ok(r), Ok(c)) => {
+                assert_eq!(r.tau, c.tau, "{what}: warm/cold τ disagree");
+                assert_eq!(
+                    r.witness.nodes, c.witness.nodes,
+                    "{what}: warm/cold witness sets disagree"
+                );
+            }
+            (Err(_), Err(_)) => {}
+            _ => panic!("{what}: warm/cold verdicts disagree"),
+        }
+    }
+}
+
+/// Run one service cell: build the query batch (`sources` sources spread
+/// evenly across the graph, all at the cell's `(β, ε)`), compute the cold
+/// reference answers, then time either fresh-service batches (cold) or
+/// pre-warmed cache replays (warm).
+fn service_cell<G: WalkGraph + Clone>(
+    g: &G,
+    engine: EngineChoice,
+    opts: &LocalMixOptions,
+    sources: usize,
+    reps: usize,
+) -> (Option<u64>, Vec<f64>) {
+    let n = g.n();
+    let q = sources.min(n);
+    let queries: Vec<TauQuery> = (0..q)
+        .map(|i| TauQuery {
+            source: i * n / q,
+            beta: opts.beta,
+            eps: opts.eps,
+        })
+        .collect();
+    let config = ServiceConfig {
+        kind: opts.kind,
+        max_t: opts.max_t,
+        grid: opts.grid,
+        flat_policy: opts.flat_policy,
+        ..ServiceConfig::default()
+    };
+    let cold = TauService::with_config(g.clone(), config).submit_batch(&queries);
+    let tau = service_taus(&cold);
+    let timing = match engine {
+        EngineChoice::ServiceCold => timing::time_reps_ms(reps, || {
+            TauService::with_config(g.clone(), config).submit_batch(&queries);
+        }),
+        EngineChoice::ServiceWarm => {
+            let service = TauService::with_config(g.clone(), config);
+            assert_service_replay(&service.submit_batch(&queries), &cold, "warm-up");
+            assert_service_replay(&service.submit_batch(&queries), &cold, "replay");
+            timing::time_reps_ms(reps, || {
+                service.submit_batch(&queries);
+            })
+        }
+        _ => unreachable!("service_cell called for a non-service engine"),
+    };
+    (tau, timing)
 }
 
 /// Completion rounds of an application cell (`None` = cap exhausted).
@@ -130,6 +214,24 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                                         app_rounds(engine, topo, fault, cap);
                                     }));
                                     (tau, timing)
+                                } else if engine.is_service() {
+                                    let (tau, timing) = match &g {
+                                        AnyGraph::Unweighted(g) => service_cell(
+                                            g,
+                                            engine,
+                                            &opts,
+                                            spec.service_sources,
+                                            spec.reps,
+                                        ),
+                                        AnyGraph::Weighted(g) => service_cell(
+                                            g,
+                                            engine,
+                                            &opts,
+                                            spec.service_sources,
+                                            spec.reps,
+                                        ),
+                                    };
+                                    (tau, Some(timing))
                                 } else {
                                     let tau = engine_tau(&g, workload.source, &opts);
                                     let timing = match (engine, tau) {
@@ -244,6 +346,7 @@ mod tests {
             faults: vec![FaultSpec::None],
             engines: vec![EngineChoice::Engine, EngineChoice::Dense],
             threads: vec![1],
+            service_sources: 16,
         }
     }
 
@@ -313,6 +416,7 @@ mod tests {
             ],
             engines: vec![EngineChoice::Elect, EngineChoice::Spread],
             threads: vec![1],
+            service_sources: 16,
         };
         let record = run_sweep(&spec);
         assert_eq!(record.cells.len(), spec.cell_count());
@@ -332,6 +436,38 @@ mod tests {
         let again = run_sweep(&spec);
         let taus = |r: &BenchRecord| r.cells.iter().map(|c| c.tau).collect::<Vec<_>>();
         assert_eq!(taus(&record), taus(&again));
+    }
+
+    #[test]
+    fn service_cells_record_cold_and_warm() {
+        let spec = SweepSpec {
+            tag: "svc-e2e".into(),
+            reps: 2,
+            max_t: 10_000,
+            graphs: vec![GraphSpec::CliqueRing { beta: 4, k: 8 }],
+            weightings: vec![Weighting::Unit, Weighting::Uniform(2.0)],
+            betas: vec![4.0],
+            epsilons: vec![crate::EPS],
+            faults: vec![FaultSpec::None],
+            engines: vec![EngineChoice::ServiceCold, EngineChoice::ServiceWarm],
+            threads: vec![1],
+            service_sources: 5,
+        };
+        let record = run_sweep(&spec);
+        assert_eq!(record.cells.len(), spec.cell_count());
+        for pair in record.cells.chunks(2) {
+            let (cold, warm) = (&pair[0], &pair[1]);
+            assert_eq!(cold.engine, "service_cold", "{}", cold.scenario);
+            assert_eq!(warm.engine, "service_warm", "{}", warm.scenario);
+            // Both cells answer the same batch, so the τ column (max over
+            // the sampled sources) must match — the diff gate's handle on
+            // cache correctness.
+            assert!(cold.tau.is_some(), "{}", cold.scenario);
+            assert_eq!(cold.tau, warm.tau, "{}", warm.scenario);
+            assert!(cold.timing.is_some() && warm.timing.is_some());
+        }
+        // Weighted uniform service cells agree with the unweighted twins.
+        assert_eq!(record.cells[0].tau, record.cells[2].tau);
     }
 
     #[test]
@@ -360,6 +496,7 @@ mod tests {
             faults: vec![FaultSpec::None],
             engines: vec![EngineChoice::Engine, EngineChoice::Dense],
             threads: vec![1],
+            service_sources: 16,
         };
         let record = run_sweep(&spec);
         assert_eq!(record.cells.len(), 2);

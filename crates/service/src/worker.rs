@@ -1,0 +1,235 @@
+//! The streaming front end: a dedicated worker thread that drains a job
+//! channel, coalesces concurrently submitted jobs into one shared
+//! [`TauService::submit_batch`] call (so their distinct sources ride the
+//! same [`lmt_walks::engine::BlockEvolution`] blocks), and routes each
+//! job's slice of the answers back to its submitter.
+//!
+//! Coalescing changes batch boundaries, never answers: `submit_batch` is
+//! invariant to batch splits (see the crate docs), so a job's answers are
+//! identical whether it ran alone or merged with others —
+//! `tests/determinism.rs` pins multi-producer ≡ single-threaded.
+
+use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use lmt_graph::WalkGraph;
+
+use crate::{TauAnswer, TauQuery, TauService};
+
+/// Upper bound on jobs merged into one coalesced batch, so a flooded
+/// channel still produces answers incrementally.
+const COALESCE_MAX: usize = 64;
+
+struct Job {
+    queries: Vec<TauQuery>,
+    reply: Sender<Vec<TauAnswer>>,
+}
+
+/// What flows through the worker channel. An explicit shutdown message —
+/// rather than sender disconnection — ends the loop, because outstanding
+/// [`ServiceClient`] clones keep the channel connected indefinitely.
+enum Msg {
+    Job(Job),
+    Shutdown,
+}
+
+/// A cloneable submission handle to a running [`ServiceWorker`]. Safe to
+/// share across threads; each submission gets its own reply channel.
+#[derive(Clone)]
+pub struct ServiceClient {
+    tx: Sender<Msg>,
+}
+
+impl ServiceClient {
+    /// Enqueue a job; the returned receiver yields its answers (in query
+    /// order) once the worker has processed the batch it lands in.
+    ///
+    /// # Panics
+    /// Panics if the worker has shut down.
+    pub fn submit(&self, queries: Vec<TauQuery>) -> Receiver<Vec<TauAnswer>> {
+        let (reply, rx) = mpsc::channel();
+        self.tx
+            .send(Msg::Job(Job { queries, reply }))
+            .expect("τ-service worker is gone");
+        rx
+    }
+
+    /// [`submit`](Self::submit) and block for the answers.
+    ///
+    /// # Panics
+    /// Panics if the worker has shut down or dies mid-job (e.g. a query
+    /// failed validation, which panics the worker thread).
+    pub fn submit_wait(&self, queries: Vec<TauQuery>) -> Vec<TauAnswer> {
+        self.submit(queries)
+            .recv()
+            .expect("τ-service worker dropped the reply")
+    }
+}
+
+/// A worker thread owning the drain-coalesce-answer loop over a shared
+/// [`TauService`]. Dropping the worker (or calling
+/// [`shutdown`](Self::shutdown)) closes the channel and joins the thread;
+/// outstanding clients' submissions then panic.
+pub struct ServiceWorker<G: WalkGraph + Send + 'static> {
+    service: Arc<TauService<G>>,
+    tx: Sender<Msg>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl<G: WalkGraph + Send + 'static> ServiceWorker<G> {
+    /// Spawn the worker loop over `service`. The service stays shared:
+    /// direct `submit_batch` calls and other workers on the same `Arc`
+    /// observe (and populate) the same cache.
+    pub fn spawn(service: Arc<TauService<G>>) -> Self {
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let svc = Arc::clone(&service);
+        let handle = std::thread::spawn(move || loop {
+            let first = match rx.recv() {
+                Ok(Msg::Job(job)) => job,
+                Ok(Msg::Shutdown) | Err(_) => return,
+            };
+            let mut jobs = vec![first];
+            let mut shutdown_after = false;
+            while jobs.len() < COALESCE_MAX {
+                match rx.try_recv() {
+                    Ok(Msg::Job(job)) => jobs.push(job),
+                    Ok(Msg::Shutdown) => {
+                        // Answer what's already queued, then exit.
+                        shutdown_after = true;
+                        break;
+                    }
+                    Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                }
+            }
+            let merged: Vec<TauQuery> = jobs
+                .iter()
+                .flat_map(|j| j.queries.iter().copied())
+                .collect();
+            let mut answers = svc.submit_batch(&merged).into_iter();
+            for job in jobs {
+                let take = job.queries.len();
+                let slice: Vec<TauAnswer> = answers.by_ref().take(take).collect();
+                // A submitter that stopped listening is not an error.
+                let _ = job.reply.send(slice);
+            }
+            if shutdown_after {
+                return;
+            }
+        });
+        ServiceWorker {
+            service,
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// A new submission handle.
+    pub fn client(&self) -> ServiceClient {
+        ServiceClient {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// The shared service (e.g. for [`TauService::stats`]).
+    pub fn service(&self) -> &Arc<TauService<G>> {
+        &self.service
+    }
+
+    /// Ask the loop to exit (already-queued jobs are still answered) and
+    /// join the worker thread, propagating a worker panic to the caller.
+    pub fn shutdown(mut self) {
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl<G: WalkGraph + Send + 'static> Drop for ServiceWorker<G> {
+    fn drop(&mut self) {
+        // A send can only fail if the thread already exited (e.g. it
+        // panicked); joining is then immediate either way.
+        let _ = self.tx.send(Msg::Shutdown);
+        if let Some(handle) = self.handle.take() {
+            // Swallow a worker panic here: panicking from drop would abort.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lmt_graph::gen;
+    use lmt_walks::local::local_mixing_time;
+
+    #[test]
+    fn worker_answers_match_direct_submit() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let service = Arc::new(TauService::new(g.clone()));
+        let worker = ServiceWorker::spawn(Arc::clone(&service));
+        let client = worker.client();
+        let queries: Vec<TauQuery> = (0..6)
+            .map(|s| TauQuery {
+                source: s * 5,
+                beta: 4.0,
+                eps: 0.05,
+            })
+            .collect();
+        let answers = client.submit_wait(queries.clone());
+        assert_eq!(answers.len(), queries.len());
+        for (q, a) in queries.iter().zip(&answers) {
+            let want = local_mixing_time(&g, q.source, &service.config().opts(q)).unwrap();
+            let got = a.result.as_ref().unwrap();
+            assert_eq!(got.tau, want.tau, "source {}", q.source);
+            assert_eq!(got.witness.nodes, want.witness.nodes);
+        }
+        worker.shutdown();
+    }
+
+    #[test]
+    fn multi_producer_submissions_all_answered() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let service = Arc::new(TauService::new(g.clone()));
+        let worker = ServiceWorker::spawn(Arc::clone(&service));
+        let mut joins = Vec::new();
+        for p in 0..4u32 {
+            let client = worker.client();
+            joins.push(std::thread::spawn(move || {
+                let q = TauQuery {
+                    source: p as usize * 7,
+                    beta: 4.0,
+                    eps: 0.05,
+                };
+                (q, client.submit_wait(vec![q]))
+            }));
+        }
+        for join in joins {
+            let (q, answers) = join.join().unwrap();
+            let want = local_mixing_time(&g, q.source, &service.config().opts(&q)).unwrap();
+            assert_eq!(answers[0].result.as_ref().unwrap().tau, want.tau);
+        }
+        // Every producer's query hit the same shared cache.
+        assert_eq!(service.stats().queries, 4);
+        worker.shutdown();
+    }
+
+    #[test]
+    fn dropping_worker_closes_clients() {
+        let g = gen::complete(8);
+        let worker = ServiceWorker::spawn(Arc::new(TauService::new(g)));
+        let client = worker.client();
+        drop(worker);
+        let result = std::panic::catch_unwind(move || {
+            client.submit_wait(vec![TauQuery {
+                source: 0,
+                beta: 2.0,
+                eps: 0.1,
+            }])
+        });
+        assert!(result.is_err(), "submit after shutdown must fail loudly");
+    }
+}

@@ -186,6 +186,49 @@ impl<'g, G: WalkGraph + ?Sized> BlockEvolution<'g, G> {
         }
     }
 
+    /// Start one column per entry of `cols` from **arbitrary**
+    /// distributions — the multi-column generalization of
+    /// [`BlockEvolution::from_dist`], used by the τ-service to resume
+    /// cached walks mid-flight in one coalesced block. The union support is
+    /// rebuilt exactly from the nonzero entries, so lane `j` continues
+    /// bit-for-bit as a solo run whose current distribution is `cols[j]`
+    /// (lanes are arithmetically independent; see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `cols` is empty, any column's length differs from `n`, or
+    /// any column places mass on an isolated node.
+    pub fn from_dists(g: &'g G, cols: &[&[f64]], kind: WalkKind) -> Self {
+        assert!(!cols.is_empty(), "block evolution needs ≥ 1 source");
+        let n = g.n();
+        let width = cols.len();
+        let mut cur = vec![0.0; n * width];
+        let mut cur_support = BitSet::new(n);
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(col.len(), n, "evolution: distribution/graph size mismatch");
+            assert_walkable(g, col, "evolution");
+            for (v, &pv) in col.iter().enumerate() {
+                if pv != 0.0 {
+                    cur[v * width + j] = pv;
+                    cur_support.insert(v);
+                }
+            }
+        }
+        BlockEvolution {
+            g,
+            kind,
+            n,
+            width,
+            cur,
+            nxt: vec![0.0; n * width],
+            cur_support,
+            nxt_support: BitSet::new(n),
+            candidates: BitSet::new(n),
+            dense: false,
+            crossover: DENSE_CROSSOVER,
+            steps: 0,
+        }
+    }
+
     /// Number of live (un-retired) columns.
     #[inline]
     pub fn width(&self) -> usize {
@@ -626,6 +669,43 @@ mod tests {
             ev.step();
             p = step(&g, &p, WalkKind::Lazy);
         }
+    }
+
+    #[test]
+    fn from_dists_lanes_continue_solo_runs() {
+        // Resume three walks mid-flight in one block: lane j must continue
+        // bit-for-bit as the solo run it was taken from, including a lane
+        // whose distribution is still a point mass.
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let sources = [0usize, 9, 17];
+        let t_pre = 3;
+        let pre: Vec<Dist> = sources
+            .iter()
+            .map(|&s| dense_reference(&g, s, WalkKind::Simple, t_pre).pop().unwrap())
+            .collect();
+        let mut cols: Vec<&[f64]> = pre.iter().map(|d| d.as_slice()).collect();
+        let point = Dist::point(g.n(), 30);
+        cols.push(point.as_slice());
+        let mut block = BlockEvolution::from_dists(&g, &cols, WalkKind::Simple);
+        let t_post = 5;
+        for _ in 0..t_post {
+            block.step();
+        }
+        for (j, &s) in sources.iter().enumerate() {
+            let solo = dense_reference(&g, s, WalkKind::Simple, t_pre + t_post)
+                .pop()
+                .unwrap();
+            assert_eq!(block.lane_dist(j), solo, "resumed lane {j} (source {s})");
+        }
+        let fresh = dense_reference(&g, 30, WalkKind::Simple, t_post).pop().unwrap();
+        assert_eq!(block.lane_dist(3), fresh, "fresh point-mass lane");
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 1 source")]
+    fn from_dists_empty_rejected() {
+        let g = gen::path(4);
+        let _ = BlockEvolution::from_dists(&g, &[], WalkKind::Lazy);
     }
 
     #[test]

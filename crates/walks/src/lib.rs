@@ -38,6 +38,11 @@
 //!   the `s ∈ S` constraint; restricted-distance profiles for the
 //!   non-monotonicity study. "Regular" means weight-regular on weighted
 //!   graphs.
+//! * [`profile`] — resumable per-source profile curves ([`profile::SourceCurve`]):
+//!   value-sorted per-step snapshots that replay the `local` witness scan
+//!   bit-for-bit for any `(β, ε)` without re-running the walk, plus the
+//!   resume distribution for extending the walk later. The cache substrate
+//!   of the `lmt-service` query layer.
 //! * [`fixed_flood`] — Algorithm 1 semantics (rounding to multiples of
 //!   `1/n^c`) as a centralized iteration, plus the weighted variant with
 //!   quantized edge weights ([`fixed_flood::QuantizedWeights`]).
@@ -57,6 +62,7 @@ pub mod engine;
 pub mod fixed_flood;
 pub mod local;
 pub mod mixing;
+pub mod profile;
 pub mod sampler;
 pub mod stationary;
 pub mod step;

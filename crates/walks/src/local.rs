@@ -96,7 +96,14 @@ impl LocalMixOptions {
         }
     }
 
-    fn validate(&self, n: usize) {
+    /// Assert the option invariants the oracle entry points enforce
+    /// (`β ≥ 1`, `ε ∈ (0,1)`, non-empty graph). Public so front ends
+    /// (`lmt-service`) reject invalid queries with the oracle's exact
+    /// messages.
+    ///
+    /// # Panics
+    /// Panics on any violated invariant.
+    pub fn validate(&self, n: usize) {
         assert!(self.beta >= 1.0, "β must be ≥ 1 (got {})", self.beta);
         assert!(
             self.eps > 0.0 && self.eps < 1.0,
@@ -180,7 +187,20 @@ pub fn size_grid(n: usize, opts: &LocalMixOptions) -> Vec<usize> {
 /// the permutation **value-sorted from the previous step**, so each re-sort
 /// hands the adaptive stable sort nearly-sorted input, and `SortedPrefix`
 /// is refilled in place.
-struct CheckScratch {
+///
+/// This is *the* witness evaluator of the repo: the solo oracle
+/// ([`local_mixing_time`]), the blocked sweep ([`graph_local_mixing_time`]),
+/// and the service cache replay (`lmt-service`, via
+/// [`crate::profile::SourceCurve`]) all run the same [`scan`](Self::check)
+/// over a `(value, id)`-sorted view of a distribution. The split entry
+/// points exist so the cached path can skip the sort: [`load`](Self::load)
+/// sorts a live distribution and exposes the sorted snapshot
+/// ([`sorted_ids`](Self::sorted_ids) / [`sorted_vals`](Self::sorted_vals));
+/// [`check_sorted`](Self::check_sorted) replays a stored snapshot through
+/// the identical scan — bit-for-bit the witness `check` on the original
+/// distribution returns, because the sorted view is a pure function of the
+/// distribution.
+pub struct WitnessScratch {
     /// Node ids, value-sorted as of the last check.
     ids: Vec<u32>,
     sp: SortedPrefix,
@@ -188,9 +208,10 @@ struct CheckScratch {
     rest_sp: SortedPrefix,
 }
 
-impl CheckScratch {
-    fn new(n: usize) -> Self {
-        CheckScratch {
+impl WitnessScratch {
+    /// Fresh buffers for `n`-node distributions.
+    pub fn new(n: usize) -> Self {
+        WitnessScratch {
             ids: (0..n as u32).collect(),
             sp: SortedPrefix::empty(),
             rest_ids: Vec::with_capacity(n),
@@ -204,7 +225,7 @@ impl CheckScratch {
     /// identical to the historical fresh stable sort (which started from
     /// ascending ids, so ties landed in id order) no matter what
     /// permutation the previous step left behind.
-    fn resort(&mut self, p: &[f64]) {
+    pub fn load(&mut self, p: &[f64]) {
         debug_assert_eq!(p.len(), self.ids.len(), "scratch/distribution size");
         let ids = &mut self.ids;
         ids.sort_by(|&a, &b| {
@@ -216,9 +237,62 @@ impl CheckScratch {
         self.sp.refill_sorted(ids.iter().map(|&i| p[i as usize]));
     }
 
+    /// Load a stored `(value, id)`-sorted snapshot (as produced by
+    /// [`load`](Self::load) and read back via [`sorted_ids`](Self::sorted_ids)
+    /// / [`sorted_vals`](Self::sorted_vals)) without re-sorting.
+    ///
+    /// # Panics
+    /// Panics if the slices disagree in length; debug builds also verify
+    /// `vals` is ascending.
+    pub fn load_sorted(&mut self, ids: &[u32], vals: &[f64]) {
+        assert_eq!(ids.len(), vals.len(), "snapshot ids/vals length mismatch");
+        self.ids.clear();
+        self.ids.extend_from_slice(ids);
+        self.sp.refill_sorted(vals.iter().copied());
+    }
+
+    /// Node ids of the last loaded distribution, sorted by `(value, id)`.
+    pub fn sorted_ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Values aligned with [`sorted_ids`](Self::sorted_ids)
+    /// (`sorted_vals()[k] == p[sorted_ids()[k]]`, ascending).
+    pub fn sorted_vals(&self) -> &[f64] {
+        self.sp.values()
+    }
+
     /// The existence check behind [`check_dist`], on borrowed buffers.
-    fn check(&mut self, p: &[f64], sizes: &[usize], eps: f64, src: Option<usize>) -> Option<Witness> {
-        self.resort(p);
+    pub fn check(
+        &mut self,
+        p: &[f64],
+        sizes: &[usize],
+        eps: f64,
+        src: Option<usize>,
+    ) -> Option<Witness> {
+        self.load(p);
+        self.scan(sizes, eps, src)
+    }
+
+    /// [`check`](Self::check) on a stored sorted snapshot: `load_sorted` +
+    /// the same scan. Bit-for-bit equal to `check` on the distribution the
+    /// snapshot was taken from.
+    pub fn check_sorted(
+        &mut self,
+        ids: &[u32],
+        vals: &[f64],
+        sizes: &[usize],
+        eps: f64,
+        src: Option<usize>,
+    ) -> Option<Witness> {
+        self.load_sorted(ids, vals);
+        self.scan(sizes, eps, src)
+    }
+
+    /// The grid scan over the currently loaded sorted view. Reads values
+    /// only through the sorted buffers, so the live-distribution and
+    /// snapshot entry points share every instruction of the scan.
+    fn scan(&mut self, sizes: &[usize], eps: f64, src: Option<usize>) -> Option<Witness> {
         match src {
             None => {
                 for &r in sizes {
@@ -239,13 +313,25 @@ impl CheckScratch {
             }
             Some(s) => {
                 // Optimal set containing s = {s} ∪ best (R−1)-window of the
-                // rest.
+                // rest. `sorted_vals[k] == p[ids[k]]` exactly, so filtering
+                // the aligned pairs reproduces the historical
+                // `p[i as usize]` reads bit-for-bit.
+                let pos = self
+                    .ids
+                    .iter()
+                    .position(|&i| i as usize == s)
+                    .expect("require_source: source missing from distribution");
+                let ps = self.sp.values()[pos];
                 self.rest_ids.clear();
                 self.rest_ids
                     .extend(self.ids.iter().copied().filter(|&i| i as usize != s));
-                self.rest_sp
-                    .refill_sorted(self.rest_ids.iter().map(|&i| p[i as usize]));
-                let ps = p[s];
+                self.rest_sp.refill_sorted(
+                    self.ids
+                        .iter()
+                        .zip(self.sp.values())
+                        .filter(|&(&i, _)| i as usize != s)
+                        .map(|(_, &v)| v),
+                );
                 for &r in sizes {
                     let c = 1.0 / r as f64;
                     let own = (ps - c).abs();
@@ -278,8 +364,8 @@ impl CheckScratch {
 
     /// Best restricted distance over the grid, irrespective of `eps` (the
     /// [`local_profile`] kernel).
-    fn best_over_sizes(&mut self, p: &[f64], sizes: &[usize]) -> f64 {
-        self.resort(p);
+    pub fn best_over_sizes(&mut self, p: &[f64], sizes: &[usize]) -> f64 {
+        self.load(p);
         sizes
             .iter()
             .filter_map(|&r| self.sp.best_window(r, 1.0 / r as f64).map(|w| w.1))
@@ -297,7 +383,7 @@ impl CheckScratch {
 /// per-step loops in this module share one scratch across all steps (and,
 /// in the graph-wide sweep, across all sources) instead.
 pub fn check_dist(p: &Dist, sizes: &[usize], eps: f64, src: Option<usize>) -> Option<Witness> {
-    CheckScratch::new(p.n()).check(p.as_slice(), sizes, eps, src)
+    WitnessScratch::new(p.n()).check(p.as_slice(), sizes, eps, src)
 }
 
 /// Ground-truth local mixing time for a **regular** graph (weight-regular
@@ -323,7 +409,7 @@ pub fn local_mixing_time<G: WalkGraph + ?Sized>(
     let sizes = size_grid(g.n(), opts);
     let src_opt = opts.require_source.then_some(src);
     let mut ev = Evolution::from_point(g, src, opts.kind);
-    let mut scratch = CheckScratch::new(g.n());
+    let mut scratch = WitnessScratch::new(g.n());
     for t in 0..=opts.max_t {
         if let Some(w) = scratch.check(ev.current(), &sizes, opts.eps, src_opt) {
             return Ok(LocalMixResult { tau: t, witness: w });
@@ -361,7 +447,7 @@ pub fn graph_local_mixing_time<G: WalkGraph + ?Sized>(
         crate::step::assert_source(g, s, "local_mixing_time");
     }
     let sizes = size_grid(n, opts);
-    let mut scratch = CheckScratch::new(n);
+    let mut scratch = WitnessScratch::new(n);
     let mut lane = vec![0.0; n];
     let mut worst = 0;
     let all: Vec<usize> = (0..n).collect();
@@ -408,7 +494,7 @@ pub fn local_profile<G: WalkGraph + ?Sized>(
     let sizes = size_grid(g.n(), opts);
     let mut out = Vec::with_capacity(t_max + 1);
     let mut ev = Evolution::from_point(g, src, opts.kind);
-    let mut scratch = CheckScratch::new(g.n());
+    let mut scratch = WitnessScratch::new(g.n());
     for t in 0..=t_max {
         out.push(scratch.best_over_sizes(ev.current(), &sizes));
         if t < t_max {
@@ -732,7 +818,7 @@ mod tests {
         let (g, _) = gen::ring_of_cliques_regular(4, 8);
         let o = opts(4.0);
         let sizes = size_grid(g.n(), &o);
-        let mut scratch = CheckScratch::new(g.n());
+        let mut scratch = WitnessScratch::new(g.n());
         for src in [0usize, 13] {
             let mut p = Dist::point(g.n(), src);
             for _ in 0..6 {

@@ -1,0 +1,206 @@
+//! Resumable per-source profile curves.
+//!
+//! A walk evolution from source `s` is `(β, ε)`-independent: the expensive
+//! part of the τ oracle is producing the distribution sequence `p_0, p_1, …`,
+//! while the per-step witness check is a cheap scan over a value-sorted view
+//! of `p_t`. A [`SourceCurve`] records exactly that sorted view —
+//! `(value, id)`-sorted ids plus the aligned ascending values, as produced by
+//! [`WitnessScratch::load`] — for every step taken so far, together with the
+//! last raw distribution for resuming the walk. Because the sorted view is a
+//! pure function of `p_t`, replaying a snapshot through
+//! [`WitnessScratch::check_sorted`] returns **bit-for-bit** the witness a
+//! fresh [`crate::local::local_mixing_time`] call sees at step `t`: one
+//! evolution of `s` answers *every* subsequent `(β, ε)` query for `s`.
+//!
+//! This is the cache substrate of the `lmt-service` query layer; the curve
+//! itself is engine-agnostic — callers feed it distributions from an
+//! [`crate::engine::Evolution`], a [`crate::engine::BlockEvolution`] lane,
+//! or anything else, and extend a curve later by restarting the engine from
+//! [`SourceCurve::resume_dist`] (see
+//! [`crate::engine::BlockEvolution::from_dists`]).
+//!
+//! Memory: one snapshot is `12·n` bytes (`u32` id + `f64` value per node),
+//! so a curve recorded to step `T` holds `(T+1)·12·n` bytes plus the `8·n`
+//! resume distribution — [`SourceCurve::snapshot_bytes`] reports the
+//! footprint so long-lived caches can account for it.
+
+use crate::local::{Witness, WitnessScratch};
+
+/// One recorded step: the `(value, id)`-sorted view of `p_t`.
+struct Snapshot {
+    /// Node ids sorted by `(value, id)`.
+    ids: Vec<u32>,
+    /// Values aligned with `ids` (ascending); `vals[k] == p[ids[k]]`.
+    vals: Vec<f64>,
+}
+
+/// The recorded profile curve of one source: sorted snapshots of
+/// `p_0 ..= p_T` plus `p_T` itself for resumption (see the module docs).
+#[derive(Default)]
+pub struct SourceCurve {
+    steps: Vec<Snapshot>,
+    cur: Vec<f64>,
+}
+
+impl SourceCurve {
+    /// An empty curve (no steps recorded yet).
+    pub fn new() -> Self {
+        SourceCurve {
+            steps: Vec::new(),
+            cur: Vec::new(),
+        }
+    }
+
+    /// Record the next step's distribution (step `t = recorded()` before the
+    /// call): snapshots the sorted view via [`WitnessScratch::load`] and
+    /// retains `p` as the new resume distribution.
+    pub fn record(&mut self, p: &[f64], scratch: &mut WitnessScratch) {
+        scratch.load(p);
+        self.steps.push(Snapshot {
+            ids: scratch.sorted_ids().to_vec(),
+            vals: scratch.sorted_vals().to_vec(),
+        });
+        self.cur.clear();
+        self.cur.extend_from_slice(p);
+    }
+
+    /// Number of recorded steps; the curve covers `t = 0 .. recorded()`.
+    pub fn recorded(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The last recorded distribution `p_T`, to restart an engine from
+    /// (empty slice if nothing is recorded yet).
+    pub fn resume_dist(&self) -> &[f64] {
+        &self.cur
+    }
+
+    /// Replay the witness check at recorded step `t` — bit-for-bit the
+    /// `check` a fresh oracle run performs on `p_t`.
+    ///
+    /// # Panics
+    /// Panics if `t ≥ recorded()`.
+    pub fn witness_at(
+        &self,
+        t: usize,
+        sizes: &[usize],
+        eps: f64,
+        src: Option<usize>,
+        scratch: &mut WitnessScratch,
+    ) -> Option<Witness> {
+        let s = &self.steps[t];
+        scratch.check_sorted(&s.ids, &s.vals, sizes, eps, src)
+    }
+
+    /// First recorded step `t ≥ from_t` whose witness check passes, with its
+    /// witness — the oracle's `min{t : …}` restricted to the recorded prefix.
+    /// `None` means no recorded step in range mixes (the caller may need to
+    /// extend the curve from [`resume_dist`](Self::resume_dist)).
+    pub fn first_witness(
+        &self,
+        from_t: usize,
+        sizes: &[usize],
+        eps: f64,
+        src: Option<usize>,
+        scratch: &mut WitnessScratch,
+    ) -> Option<(usize, Witness)> {
+        (from_t..self.steps.len())
+            .find_map(|t| self.witness_at(t, sizes, eps, src, scratch).map(|w| (t, w)))
+    }
+
+    /// Approximate heap footprint of the recorded snapshots and resume
+    /// distribution, in bytes.
+    pub fn snapshot_bytes(&self) -> usize {
+        let per_step: usize = self
+            .steps
+            .iter()
+            .map(|s| s.ids.len() * 4 + s.vals.len() * 8)
+            .sum();
+        per_step + self.cur.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Evolution;
+    use crate::local::{local_mixing_time, size_grid, LocalMixOptions};
+    use crate::step::WalkKind;
+    use lmt_graph::gen;
+
+    fn record_curve(
+        g: &impl lmt_graph::WalkGraph,
+        src: usize,
+        kind: WalkKind,
+        t_max: usize,
+    ) -> SourceCurve {
+        let mut curve = SourceCurve::new();
+        let mut scratch = WitnessScratch::new(g.n());
+        let mut ev = Evolution::from_point(g, src, kind);
+        for t in 0..=t_max {
+            curve.record(ev.current(), &mut scratch);
+            if t < t_max {
+                ev.step();
+            }
+        }
+        curve
+    }
+
+    #[test]
+    fn replay_matches_fresh_oracle_across_grid() {
+        // One recorded evolution must answer every (β, ε) pair identically
+        // to a fresh oracle run — the contract the service cache relies on.
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let curve = record_curve(&g, 5, WalkKind::Simple, 120);
+        let mut scratch = WitnessScratch::new(g.n());
+        for beta in [1.5, 2.0, 4.0] {
+            for eps in [0.05, 1.0 / (8.0 * std::f64::consts::E), 0.3] {
+                for require_source in [false, true] {
+                    let mut o = LocalMixOptions::new(beta);
+                    o.eps = eps;
+                    o.require_source = require_source;
+                    let sizes = size_grid(g.n(), &o);
+                    let src_opt = require_source.then_some(5);
+                    let fresh = local_mixing_time(&g, 5, &o).unwrap();
+                    let (t, w) = curve
+                        .first_witness(0, &sizes, eps, src_opt, &mut scratch)
+                        .expect("curve long enough to contain τ");
+                    assert_eq!(t, fresh.tau, "β={beta} ε={eps} rs={require_source}");
+                    assert_eq!(w.size, fresh.witness.size);
+                    assert_eq!(w.l1.to_bits(), fresh.witness.l1.to_bits());
+                    assert_eq!(w.nodes, fresh.witness.nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_dist_is_last_recorded_step() {
+        let g = gen::complete(12);
+        let curve = record_curve(&g, 0, WalkKind::Simple, 4);
+        assert_eq!(curve.recorded(), 5);
+        let mut ev = Evolution::from_point(&g, 0, WalkKind::Simple);
+        for _ in 0..4 {
+            ev.step();
+        }
+        assert_eq!(curve.resume_dist(), ev.current());
+        assert!(curve.snapshot_bytes() >= 5 * 12 * g.n());
+    }
+
+    #[test]
+    fn first_witness_respects_from_t() {
+        // Starting the replay past τ must not resurrect earlier witnesses.
+        let g = gen::complete(16);
+        let curve = record_curve(&g, 3, WalkKind::Simple, 6);
+        let o = LocalMixOptions::new(4.0);
+        let sizes = size_grid(g.n(), &o);
+        let mut scratch = WitnessScratch::new(g.n());
+        let (tau, _) = curve
+            .first_witness(0, &sizes, o.eps, None, &mut scratch)
+            .unwrap();
+        let (tau2, _) = curve
+            .first_witness(tau + 1, &sizes, o.eps, None, &mut scratch)
+            .unwrap();
+        assert!(tau2 > tau);
+    }
+}

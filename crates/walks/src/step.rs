@@ -42,8 +42,12 @@ pub(crate) fn assert_walkable<G: WalkGraph + ?Sized>(g: &G, p: &[f64], what: &st
 
 /// Panic unless `src` is in range and non-isolated — the shared boundary
 /// guard of every point-mass walk entry point (`mixing_time`, `l1_trace`,
-/// the local-mixing oracle, the samplers).
-pub(crate) fn assert_source<G: WalkGraph + ?Sized>(g: &G, src: usize, what: &str) {
+/// the local-mixing oracle, the samplers). Public so front ends
+/// (`lmt-service`) reject bad sources with the oracle's exact messages.
+///
+/// # Panics
+/// Panics if `src ≥ n` or `src` has walk degree 0.
+pub fn assert_source<G: WalkGraph + ?Sized>(g: &G, src: usize, what: &str) {
     assert!(src < g.n(), "{what}: source {src} out of range");
     assert!(
         g.walk_degree(src) > 0.0,

@@ -11,6 +11,8 @@
 //! * `lmt-congest` — the CONGEST simulator and protocol primitives
 //! * `lmt-core` — Algorithms 1–2, the exact variant, baselines
 //! * `lmt-gossip` — push–pull, partial information spreading, applications
+//! * `lmt-service` — τ-as-a-service: batched, cached query layer over the
+//!   evolution engine, bit-identical to the oracle
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,11 +34,16 @@ pub mod prelude {
     pub use lmt_graph::{
         cuts, gen, props, Graph, GraphBuilder, WalkGraph, WeightedGraph, WeightedGraphBuilder,
     };
+    pub use lmt_service::{
+        ServiceClient, ServiceConfig, ServiceStats, ServiceWorker, TauAnswer, TauQuery,
+        TauService,
+    };
     pub use lmt_walks::engine::{evolve_block, BlockEvolution, Evolution};
     pub use lmt_walks::local::{
         graph_local_mixing_time, local_mixing_time, restricted_trace, FlatPolicy,
-        LocalMixOptions, SizeGrid,
+        LocalMixError, LocalMixOptions, LocalMixResult, SizeGrid, WitnessScratch,
     };
+    pub use lmt_walks::profile::SourceCurve;
     pub use lmt_walks::mixing::{graph_mixing_time, l1_trace, mixing_time};
     pub use lmt_walks::{Dist, WalkKind};
 }

@@ -610,6 +610,132 @@ fn graph_sweeps_blocked_equal_per_source_across_widths() {
     }
 }
 
+/// The τ-service layer (PR 8): concurrent multi-producer submissions
+/// through the [`ServiceWorker`] coalescing loop must be bit-identical to
+/// single-threaded direct `submit_batch` calls, at every pool width — and
+/// a cache hit must reproduce the cache-miss answer exactly.
+mod tau_service {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Lazy walks (well-defined on the bipartite even-cycle cases d = 2
+    /// can produce, where a simple walk never mixes) and a modest cap so
+    /// a capped verdict stays cheap.
+    pub fn cfg() -> ServiceConfig {
+        ServiceConfig {
+            kind: WalkKind::Lazy,
+            max_t: 20_000,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// Bit-faithful digest of a slice of answers (witness `l1` via
+    /// `to_bits`, so equality is exact).
+    pub fn digest(answers: &[TauAnswer]) -> String {
+        answers
+            .iter()
+            .map(|a| match &a.result {
+                Ok(r) => format!(
+                    "s{}:tau={},size={},l1={:016x},nodes={:?}",
+                    a.query.source,
+                    r.tau,
+                    r.witness.size,
+                    r.witness.l1.to_bits(),
+                    r.witness.nodes
+                ),
+                Err(e) => format!("s{}:err={e:?}", a.query.source),
+            })
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// One producer thread per query, all racing into one worker; answers
+    /// re-assembled in source order.
+    pub fn concurrent_digest(g: &Graph, queries: &[TauQuery]) -> String {
+        let worker = ServiceWorker::spawn(Arc::new(TauService::with_config(g.clone(), cfg())));
+        let mut joins = Vec::new();
+        for &q in queries {
+            let client = worker.client();
+            joins.push(std::thread::spawn(move || client.submit_wait(vec![q])));
+        }
+        let mut answers: Vec<TauAnswer> = joins
+            .into_iter()
+            .flat_map(|j| j.join().expect("producer thread"))
+            .collect();
+        answers.sort_by_key(|a| a.query.source);
+        worker.shutdown();
+        digest(&answers)
+    }
+
+    /// The single-threaded reference: one direct batch on a fresh service,
+    /// already in source order.
+    pub fn direct_digest(g: &Graph, queries: &[TauQuery]) -> String {
+        digest(&TauService::with_config(g.clone(), cfg()).submit_batch(queries))
+    }
+}
+
+proptest! {
+    // Each case spawns one worker + producers per width; keep cases low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Concurrent multi-producer ≡ single-threaded, bit-for-bit, at pool
+    /// widths 1, 2, and 8 — and no drift across widths.
+    #[test]
+    fn tau_service_concurrent_equals_single_threaded((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        // Distinct sources in ascending order (the concurrent digest
+        // re-sorts by source, so answers line up positionally).
+        let queries: Vec<TauQuery> = (0..4usize)
+            .map(|j| TauQuery { source: (j * n) / 4, beta: 2.0, eps: 0.1 })
+            .collect();
+        let results = at_widths(|| {
+            let direct = tau_service::direct_digest(&g, &queries);
+            let concurrent = tau_service::concurrent_digest(&g, &queries);
+            assert_eq!(
+                direct, concurrent,
+                "concurrent != single-threaded at width {}",
+                rayon::current_num_threads()
+            );
+            direct
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "service answers drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    /// A cache hit replays the cache-miss answer exactly, at every width.
+    #[test]
+    fn tau_service_cache_hit_equals_miss((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let queries: Vec<TauQuery> = (0..3usize)
+            .map(|j| TauQuery { source: (j * n) / 3, beta: 4.0, eps: 0.1 })
+            .collect();
+        let results = at_widths(|| {
+            let service = TauService::with_config(g.clone(), tau_service::cfg());
+            let miss = tau_service::digest(&service.submit_batch(&queries));
+            let hit = tau_service::digest(&service.submit_batch(&queries));
+            assert_eq!(miss, hit, "cache hit diverged from miss");
+            assert_eq!(service.stats().cache_hits as usize, queries.len());
+            miss
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "cache digests drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
+
 proptest! {
     // Each case runs Algorithm 2 from 2 sources × 2 engines × 3 widths;
     // keep the case count low.
