@@ -70,6 +70,7 @@ impl Ab<'_> {
                 fault: "none".to_string(),
                 threads,
                 tau: Some(tau),
+                mem_bytes: None,
                 timing: summarize(&times),
             });
         }

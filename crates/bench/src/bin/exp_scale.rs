@@ -1,0 +1,91 @@
+//! Scale experiment — the first ≥10⁷-node end-to-end τ run, plus the
+//! compact-CSR memory ledger that makes it fit.
+//!
+//! Workload: a random regular expander at n = 2²⁴ = 16 777 216 (d = 8,
+//! m = 2²⁶ edges), the `(β = 8, ε)` oracle query through the evolution
+//! engine — the ROADMAP's "graphs that stress memory before they stress
+//! arithmetic" milestone. On an expander τ_s = Θ(log n), so the sweep
+//! terminates after a few dozen block steps even at this n; the binding
+//! resource is the CSR footprint, not the step count.
+//!
+//! Besides the τ table the run prints a bytes-per-edge ledger for the
+//! compact-offset CSR (`u32` offsets) against the pre-refactor `usize`
+//! layout. The "before" figure is arithmetic, not measured — the wide
+//! layout no longer exists in the tree — and differs by exactly
+//! `4·(n+1)` bytes of offset width. Emits `BENCH_scale.json`; the tiny
+//! CI twin is `specs/scale_tiny.json`. Expect minutes of wall clock and
+//! ~0.7 GiB of substrate on the 1-CPU container; this binary is manual
+//! (not part of `exp_all`).
+
+use lmt_bench::record::bench_dir;
+use lmt_bench::spec::{EngineChoice, FaultSpec, GraphSpec, SweepSpec, Weighting};
+use lmt_bench::sweep::{render_table, run_sweep};
+use lmt_bench::EPS;
+use lmt_util::table::Table;
+
+/// log₂ of the node count: 2²⁴ ≈ 1.7·10⁷ nodes.
+const N_LOG2: u32 = 24;
+/// Expander degree — d = 8 keeps τ_s = Θ(log n) while the CSR stays
+/// dominated by the neighbor array (8 half-edges per node).
+const DEGREE: usize = 8;
+
+fn main() {
+    let n = 1usize << N_LOG2;
+    let m = n * DEGREE / 2;
+    let spec = SweepSpec {
+        tag: "scale".into(),
+        reps: 1,
+        max_t: 100_000,
+        graphs: vec![GraphSpec::Expander { n, d: DEGREE, seed: 7 }],
+        weightings: vec![Weighting::Unit],
+        betas: vec![8.0],
+        epsilons: vec![EPS],
+        faults: vec![FaultSpec::None],
+        engines: vec![EngineChoice::Engine],
+        threads: vec![1],
+        service_sources: 16,
+    };
+    eprintln!("exp_scale: n = {n} (2^{N_LOG2}), d = {DEGREE}, m = {m}; building expander…");
+
+    let record = run_sweep(&spec);
+    print!("{}", render_table(&record));
+
+    // Memory ledger: measured compact footprint vs the arithmetic
+    // pre-refactor layout (usize offsets, +4 bytes × (n+1) slots).
+    let mem_after = record
+        .cells
+        .first()
+        .and_then(|c| c.mem_bytes)
+        .expect("sweep cells record the substrate footprint");
+    let mem_before = mem_after + 4 * (n as u64 + 1);
+    let per_edge = |bytes: u64| bytes as f64 / m as f64;
+    let mut table = Table::new(
+        "CSR footprint, compact u32 offsets vs pre-refactor usize".to_string(),
+        &["layout", "bytes", "bytes/edge"],
+    );
+    table.row(&[
+        "usize offsets (computed)".into(),
+        mem_before.to_string(),
+        format!("{:.3}", per_edge(mem_before)),
+    ]);
+    table.row(&[
+        "u32 offsets (measured)".into(),
+        mem_after.to_string(),
+        format!("{:.3}", per_edge(mem_after)),
+    ]);
+    print!("{}", table.render());
+    println!(
+        "saved {} bytes = {:.3} bytes/edge ({:.1}% of the offset-wide footprint).",
+        mem_before - mem_after,
+        per_edge(mem_before - mem_after),
+        100.0 * (mem_before - mem_after) as f64 / mem_before as f64
+    );
+
+    match record.write_to(&bench_dir()) {
+        Ok(path) => println!("record: {}", path.display()),
+        Err(e) => {
+            eprintln!("exp_scale: cannot write record: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -245,6 +245,7 @@ mod tests {
             fault: "none".into(),
             threads: 1,
             tau,
+            mem_bytes: None,
             timing: Some(TimingSummary {
                 reps: 3,
                 skipped: 0,
@@ -265,6 +266,7 @@ mod tests {
                 cpus: 1,
                 lmt_threads: None,
                 timestamp_unix: 0,
+                total_mem_bytes: None,
                 os: "linux/x86_64".into(),
             },
             cells,

@@ -21,8 +21,23 @@ pub struct Fingerprint {
     pub lmt_threads: Option<String>,
     /// Seconds since the Unix epoch at capture time.
     pub timestamp_unix: u64,
+    /// Total physical memory in bytes (`/proc/meminfo` `MemTotal`), `None`
+    /// where undetectable — context for the per-cell `mem_bytes` footprint
+    /// column (a 10⁸-node sweep that fits one host may OOM another).
+    /// Records written before memory accounting omit the key; it reads
+    /// back as `None`.
+    pub total_mem_bytes: Option<u64>,
     /// `std::env::consts::OS` / `ARCH`, e.g. `"linux/x86_64"`.
     pub os: String,
+}
+
+/// `MemTotal` from `/proc/meminfo`, in bytes (`None` off Linux or on any
+/// parse surprise).
+fn detect_total_mem_bytes() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/meminfo").ok()?;
+    let line = text.lines().find(|l| l.starts_with("MemTotal:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 /// First line of a command's stdout, or `None` if it can't be run.
@@ -49,6 +64,7 @@ impl Fingerprint {
             timestamp_unix: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
+            total_mem_bytes: detect_total_mem_bytes(),
             os: format!("{}/{}", std::env::consts::OS, std::env::consts::ARCH),
         }
     }
@@ -61,6 +77,7 @@ impl Fingerprint {
             ("cpus", Json::from(self.cpus)),
             ("lmt_threads", Json::from(self.lmt_threads.clone())),
             ("timestamp_unix", Json::from(self.timestamp_unix)),
+            ("total_mem_bytes", Json::from(self.total_mem_bytes)),
             ("os", Json::from(self.os.as_str())),
         ])
     }
@@ -92,6 +109,14 @@ impl Fingerprint {
             timestamp_unix: field("timestamp_unix")?
                 .as_u64()
                 .ok_or("fingerprint: \"timestamp_unix\" must be an integer")?,
+            // Lenient: pre-memory-accounting records omit the key.
+            total_mem_bytes: match v.get("total_mem_bytes") {
+                None | Some(Json::Null) => None,
+                Some(m) => Some(
+                    m.as_u64()
+                        .ok_or("fingerprint: \"total_mem_bytes\" must be an integer or null")?,
+                ),
+            },
             os: str_field("os")?,
         })
     }
@@ -121,6 +146,8 @@ mod tests {
         assert!(fp.cpus >= 1);
         assert!(fp.timestamp_unix > 0);
         assert!(fp.os.contains('/'));
+        #[cfg(target_os = "linux")]
+        assert!(fp.total_mem_bytes.unwrap_or(0) > 0);
     }
 
     #[test]
@@ -131,6 +158,7 @@ mod tests {
             cpus: 1,
             lmt_threads: Some("8".into()),
             timestamp_unix: 1_754_000_000,
+            total_mem_bytes: Some(128 << 30),
             os: "linux/x86_64".into(),
         };
         assert_eq!(Fingerprint::from_json(&fp.to_json()).unwrap(), fp);

@@ -42,6 +42,11 @@ pub struct Cell {
     /// Measured `τ_s(β,ε)`; `None` (JSON `null`) when no witness appeared
     /// within the step cap.
     pub tau: Option<u64>,
+    /// Heap footprint of the cell's graph substrate in bytes
+    /// ([`lmt_graph::Graph::memory_bytes`]) — memory joins wall-clock in
+    /// the perf trajectory. Records written before memory accounting omit
+    /// the key; it reads back as `None`.
+    pub mem_bytes: Option<u64>,
     /// Wall-clock summary; `None` for cells recorded without timing.
     pub timing: Option<TimingSummary>,
 }
@@ -110,6 +115,7 @@ impl Cell {
             ("fault", Json::from(self.fault.as_str())),
             ("threads", Json::from(self.threads)),
             ("tau", Json::from(self.tau)),
+            ("mem_bytes", Json::from(self.mem_bytes)),
             (
                 "timing",
                 self.timing.as_ref().map_or(Json::Null, timing_to_json),
@@ -153,6 +159,15 @@ impl Cell {
                 None => return Err("cell: missing \"tau\"".into()),
                 Some(Json::Null) => None,
                 Some(t) => Some(t.as_u64().ok_or("cell: \"tau\" must be an integer or null")?),
+            },
+            // Lenient like "fault": pre-memory-accounting records (the
+            // committed goldens among them) omit the key entirely.
+            mem_bytes: match v.get("mem_bytes") {
+                None | Some(Json::Null) => None,
+                Some(m) => Some(
+                    m.as_u64()
+                        .ok_or("cell: \"mem_bytes\" must be an integer or null")?,
+                ),
             },
             timing: match v.get("timing") {
                 None | Some(Json::Null) => None,
@@ -295,6 +310,7 @@ mod tests {
                 lmt_threads: None,
                 timestamp_unix: 1_754_000_000,
                 os: "linux/x86_64".into(),
+                total_mem_bytes: Some(8 << 30),
             },
             cells: vec![
                 Cell {
@@ -308,6 +324,7 @@ mod tests {
                     fault: "none".into(),
                     threads: 1,
                     tau: Some(1),
+                    mem_bytes: Some(548),
                     timing: Some(TimingSummary {
                         reps: 3,
                         skipped: 0,
@@ -326,6 +343,7 @@ mod tests {
                     fault: "drop(p=0.2,seed=7)".into(),
                     threads: 2,
                     tau: None,
+                    mem_bytes: None,
                     timing: None,
                 },
             ],
@@ -363,6 +381,22 @@ mod tests {
         assert_ne!(text, stripped, "sample must serialize the field");
         let r = BenchRecord::parse(&stripped).unwrap();
         assert!(r.cells.iter().all(|c| c.fault == "none"));
+    }
+
+    #[test]
+    fn missing_mem_bytes_reads_as_none() {
+        // Pre-memory-accounting records (the committed goldens) have no
+        // "mem_bytes" key; they must keep parsing, as `None`.
+        let text = sample().to_json().render();
+        let stripped = text
+            .lines()
+            .filter(|l| !l.contains("\"mem_bytes\"") && !l.contains("\"total_mem_bytes\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(text, stripped, "sample must serialize the fields");
+        let r = BenchRecord::parse(&stripped).unwrap();
+        assert!(r.cells.iter().all(|c| c.mem_bytes.is_none()));
+        assert_eq!(r.fingerprint.total_mem_bytes, None);
     }
 
     #[test]

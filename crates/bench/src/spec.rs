@@ -204,6 +204,18 @@ pub enum AnyGraph {
     Weighted(WeightedGraph),
 }
 
+impl AnyGraph {
+    /// Heap footprint of the substrate in bytes
+    /// ([`Graph::memory_bytes`] / [`WeightedGraph::memory_bytes`]) — the
+    /// sweep runner records this per cell.
+    pub fn memory_bytes(&self) -> u64 {
+        match self {
+            AnyGraph::Unweighted(g) => g.memory_bytes() as u64,
+            AnyGraph::Weighted(g) => g.memory_bytes() as u64,
+        }
+    }
+}
+
 impl GraphSpec {
     /// Build the graph, with its display name and measurement source.
     pub fn build(&self) -> Workload {

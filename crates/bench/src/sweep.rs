@@ -288,6 +288,7 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                                     fault: fault_label,
                                     threads: width,
                                     tau,
+                                    mem_bytes: Some(g.memory_bytes()),
                                     timing: timing.as_deref().and_then(timing::summarize),
                                 });
                             }
@@ -305,7 +306,7 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
 pub fn render_table(record: &BenchRecord) -> String {
     let mut t = lmt_util::table::Table::new(
         format!("sweep {} ({} cells)", record.tag, record.cells.len()),
-        &["graph", "w", "β", "ε", "engine", "fault", "thr", "τ", "median ms", "min..max"],
+        &["graph", "w", "β", "ε", "engine", "fault", "thr", "τ", "mem MiB", "median ms", "min..max"],
     );
     for c in &record.cells {
         t.row(&[
@@ -317,6 +318,8 @@ pub fn render_table(record: &BenchRecord) -> String {
             c.fault.clone(),
             c.threads.to_string(),
             crate::fmt_opt(c.tau),
+            c.mem_bytes
+                .map_or("-".into(), |b| format!("{:.2}", b as f64 / (1 << 20) as f64)),
             c.timing
                 .map_or("-".into(), |s| format!("{:.3}", s.median_ms)),
             c.timing

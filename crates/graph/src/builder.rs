@@ -1,6 +1,68 @@
-//! Edge-list construction of [`Graph`].
+//! Edge-list construction of [`Graph`], and the typed capacity errors the
+//! compact-offset layout needs.
 
+use crate::csr::EdgeIndex;
 use crate::Graph;
+
+/// Capacity errors of the compact CSR layout.
+///
+/// The graph stores node ids and edge-array offsets as `u32`
+/// (see `csr`'s module docs), so both the node count and the edge-slot
+/// count `2m + n` must stay below `u32::MAX`. Builders report violations
+/// with this type instead of silently truncating ids or offsets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// The requested node count does not fit the `u32` id space.
+    TooManyNodes {
+        /// The rejected node count.
+        n: usize,
+    },
+    /// The edge-slot count `2m + n` does not fit the `u32` offset space
+    /// (`n` reserves headroom for per-node loop slots in the weighted
+    /// layout, so both builders share one bound).
+    TooManyEdgeSlots {
+        /// The rejected slot count (`2m + n`).
+        slots: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::TooManyNodes { n } => {
+                write!(f, "node count {n} exceeds u32 range ({})", u32::MAX)
+            }
+            GraphError::TooManyEdgeSlots { slots } => {
+                write!(
+                    f,
+                    "edge-slot count {slots} (2m + n) exceeds u32 offset range ({})",
+                    u32::MAX
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Shared builder guard: `2m + n` slots must fit the `u32` offset space.
+pub(crate) fn check_edge_slots(half_edges: usize, n: usize) -> Result<(), GraphError> {
+    let slots = half_edges
+        .checked_add(n)
+        .ok_or(GraphError::TooManyEdgeSlots { slots: usize::MAX })?;
+    if slots >= u32::MAX as usize {
+        return Err(GraphError::TooManyEdgeSlots { slots });
+    }
+    Ok(())
+}
+
+/// Shared builder guard: node ids must fit `u32`.
+pub(crate) fn check_node_count(n: usize) -> Result<(), GraphError> {
+    if n > u32::MAX as usize {
+        return Err(GraphError::TooManyNodes { n });
+    }
+    Ok(())
+}
 
 /// Accumulates undirected edges and builds a validated CSR [`Graph`].
 ///
@@ -16,12 +78,24 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Builder for a graph on nodes `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` id space — use
+    /// [`GraphBuilder::try_new`] for a recoverable error.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "node count exceeds u32 range");
-        GraphBuilder {
+        GraphBuilder::try_new(n).expect("node count exceeds u32 range")
+    }
+
+    /// Fallible [`GraphBuilder::new`]: rejects node counts outside the
+    /// `u32` id space with [`GraphError::TooManyNodes`] instead of
+    /// panicking (ids were never truncated — `new` always asserted — but
+    /// callers ingesting untrusted sizes need the `Result` form).
+    pub fn try_new(n: usize) -> Result<Self, GraphError> {
+        check_node_count(n)?;
+        Ok(GraphBuilder {
             n,
             arcs: Vec::new(),
-        }
+        })
     }
 
     /// Number of nodes.
@@ -36,6 +110,7 @@ impl GraphBuilder {
     pub fn add_edge(&mut self, u: usize, v: usize) -> &mut Self {
         assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range n={}", self.n);
         assert_ne!(u, v, "self-loop at {u} rejected (simple graphs only)");
+        // In range: u, v < n ≤ u32::MAX (checked at construction).
         self.arcs.push((u as u32, v as u32));
         self.arcs.push((v as u32, u as u32));
         self
@@ -56,10 +131,24 @@ impl GraphBuilder {
     }
 
     /// Finish: sort, deduplicate, and assemble CSR.
-    pub fn build(mut self) -> Graph {
+    ///
+    /// # Panics
+    /// Panics if the deduplicated edge-slot count overflows the compact
+    /// offset layout — use [`GraphBuilder::try_build`] for a recoverable
+    /// error.
+    pub fn build(self) -> Graph {
+        self.try_build().expect("edge slots exceed u32 offset range")
+    }
+
+    /// Fallible [`GraphBuilder::build`]: rejects graphs whose
+    /// (deduplicated) `2m + n` slot count overflows the `u32` offset space
+    /// with [`GraphError::TooManyEdgeSlots`] — the failure mode the compact
+    /// layout introduces, reported instead of silently wrapping offsets.
+    pub fn try_build(mut self) -> Result<Graph, GraphError> {
         self.arcs.sort_unstable();
         self.arcs.dedup();
-        let mut offsets = Vec::with_capacity(self.n + 1);
+        check_edge_slots(self.arcs.len(), self.n)?;
+        let mut offsets: Vec<EdgeIndex> = Vec::with_capacity(self.n + 1);
         let mut neighbors = Vec::with_capacity(self.arcs.len());
         offsets.push(0);
         let mut idx = 0;
@@ -68,10 +157,11 @@ impl GraphBuilder {
                 neighbors.push(self.arcs[idx].1);
                 idx += 1;
             }
-            offsets.push(neighbors.len());
+            // Fits: neighbors.len() ≤ 2m < u32::MAX (guard above).
+            offsets.push(neighbors.len() as EdgeIndex);
         }
         debug_assert_eq!(idx, self.arcs.len());
-        Graph::from_raw(offsets, neighbors)
+        Ok(Graph::from_raw(offsets, neighbors))
     }
 }
 
@@ -118,5 +208,51 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn oob_rejected() {
         GraphBuilder::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_node_count() {
+        let err = GraphBuilder::try_new(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::TooManyNodes {
+                n: u32::MAX as usize + 1
+            }
+        );
+        assert!(err.to_string().contains("exceeds u32"));
+        // The boundary value itself is fine (ids are 0..n−1 < u32::MAX)…
+        assert!(GraphBuilder::try_new(u32::MAX as usize).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn new_panics_on_oversized_node_count() {
+        let _ = GraphBuilder::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn edge_slot_guard_rejects_offset_overflow() {
+        // The guard itself (a 4-billion-arc Vec is not buildable in a unit
+        // test): 2m + n must stay strictly below u32::MAX.
+        assert!(check_edge_slots(0, 0).is_ok());
+        assert!(check_edge_slots(u32::MAX as usize - 11, 10).is_ok());
+        let err = check_edge_slots(u32::MAX as usize - 10, 10).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::TooManyEdgeSlots {
+                slots: u32::MAX as usize
+            }
+        );
+        assert!(err.to_string().contains("2m + n"));
+        // usize overflow in the sum itself must not wrap around the guard.
+        assert!(check_edge_slots(usize::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn try_build_succeeds_on_small_graphs() {
+        let mut b = GraphBuilder::try_new(3).unwrap();
+        b.add_edge(0, 1);
+        let g = b.try_build().unwrap();
+        assert_eq!(g.m(), 1);
     }
 }

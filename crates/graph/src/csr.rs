@@ -1,21 +1,45 @@
 //! The CSR graph type.
+//!
+//! # Layout
+//!
+//! Adjacency lives in two flat arrays: `offsets` (length `n + 1`, element
+//! type `EdgeIndex` = `u32`) and `neighbors` (length `2m`, `u32` node
+//! ids). Both index types are 4 bytes, so the whole CSR costs
+//! `4·(n + 1) + 4·2m` bytes — half the traffic of the former
+//! `Vec<usize>` offsets on 64-bit hosts, which matters at the
+//! n = 10⁷–10⁸ scale the ROADMAP targets (offsets alone at n = 10⁷ drop
+//! from 80 MB to 40 MB, and every `pull` kernel reads two of them per
+//! row). The public API still speaks `usize`; the compact types are an
+//! internal layout choice, converted at the accessor boundary.
+//!
+//! The price of 4-byte offsets is a capacity bound: the edge-slot count
+//! `2m` (plus the node count) must stay below `u32::MAX`. Builders
+//! enforce this with a typed [`crate::GraphError`] instead of silently
+//! truncating — see [`crate::GraphBuilder::try_build`].
+
+/// Element type of the CSR offset array: positions into the flat neighbor
+/// array. `u32` halves the offset footprint vs `usize`; builders guarantee
+/// `2m` fits (see the module docs).
+pub(crate) type EdgeIndex = u32;
 
 /// An immutable undirected simple graph in compressed-sparse-row form.
 ///
 /// Nodes are `0..n`. Adjacency is stored as two flat arrays — `offsets`
-/// (length `n+1`) and `neighbors` (length `2m`, each undirected edge appears
-/// in both endpoint lists) — with `u32` neighbor ids to halve memory traffic
-/// versus `usize` (per the HPC guide's "smaller integers" advice). The public
-/// API speaks `usize`.
+/// (length `n+1`, compact `EdgeIndex` entries) and `neighbors` (length
+/// `2m`, each undirected edge appears in both endpoint lists) — with `u32`
+/// ids throughout to halve memory traffic versus `usize` (per the HPC
+/// guide's "smaller integers" advice; see the [module docs](self) for the
+/// full layout). The public API speaks `usize`.
 ///
 /// Invariants (enforced by [`crate::GraphBuilder`] and checked by
 /// [`Graph::validate`]):
 /// * neighbor lists are sorted ascending and duplicate-free,
 /// * no self-loops,
-/// * symmetry: `v ∈ N(u)` ⇔ `u ∈ N(v)`.
+/// * symmetry: `v ∈ N(u)` ⇔ `u ∈ N(v)`,
+/// * `2m` (and so every offset) fits in `EdgeIndex`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Graph {
-    offsets: Vec<usize>,
+    offsets: Vec<EdgeIndex>,
     neighbors: Vec<u32>,
 }
 
@@ -24,7 +48,7 @@ impl Graph {
     ///
     /// Prefer [`crate::GraphBuilder`]; this is for generators that can emit
     /// sorted CSR directly. Debug builds validate.
-    pub(crate) fn from_raw(offsets: Vec<usize>, neighbors: Vec<u32>) -> Self {
+    pub(crate) fn from_raw(offsets: Vec<EdgeIndex>, neighbors: Vec<u32>) -> Self {
         let g = Graph { offsets, neighbors };
         debug_assert!(g.validate().is_ok(), "invalid raw CSR");
         g
@@ -45,13 +69,13 @@ impl Graph {
     /// Degree of node `u`.
     #[inline]
     pub fn degree(&self, u: usize) -> usize {
-        self.offsets[u + 1] - self.offsets[u]
+        (self.offsets[u + 1] - self.offsets[u]) as usize
     }
 
     /// Neighbors of `u`, sorted ascending.
     #[inline]
     pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
-        self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+        self.neighbors[self.neighbor_range(u)]
             .iter()
             .map(|&v| v as usize)
     }
@@ -59,7 +83,7 @@ impl Graph {
     /// Neighbor slice of `u` as raw `u32`s (hot loops).
     #[inline]
     pub fn neighbors_raw(&self, u: usize) -> &[u32] {
-        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+        &self.neighbors[self.offsets[u] as usize..self.offsets[u + 1] as usize]
     }
 
     /// The index range of `u`'s adjacency inside the flat neighbor array.
@@ -70,7 +94,7 @@ impl Graph {
     /// [`Graph::neighbors_raw`].
     #[inline]
     pub fn neighbor_range(&self, u: usize) -> std::ops::Range<usize> {
-        self.offsets[u]..self.offsets[u + 1]
+        self.offsets[u] as usize..self.offsets[u + 1] as usize
     }
 
     /// The `i`-th neighbor of `u` (0-based within the sorted list).
@@ -81,7 +105,7 @@ impl Graph {
     pub fn neighbor(&self, u: usize, i: usize) -> usize {
         let d = self.degree(u);
         assert!(i < d, "neighbor index {i} out of range for degree {d}");
-        self.neighbors[self.offsets[u] + i] as usize
+        self.neighbors[self.offsets[u] as usize + i] as usize
     }
 
     /// Adjacency test in `O(log deg)`.
@@ -107,10 +131,23 @@ impl Graph {
         self.neighbors.len()
     }
 
+    /// Heap bytes held by the CSR arrays (`4·(n+1)` offsets + `4·2m`
+    /// neighbors). This is the resident footprint the bench records track;
+    /// capacity slack from builders is excluded so the number is a pure
+    /// function of the graph.
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<EdgeIndex>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+    }
+
     /// Check all CSR invariants; returns a human-readable error on failure.
     pub fn validate(&self) -> Result<(), String> {
         let n = self.n();
-        if self.offsets[0] != 0 || *self.offsets.last().unwrap() != self.neighbors.len() {
+        if n > u32::MAX as usize || self.neighbors.len() >= u32::MAX as usize {
+            return Err("CSR exceeds u32 index range".into());
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() as usize != self.neighbors.len() {
             return Err("offsets do not bracket neighbor array".into());
         }
         for u in 0..n {
@@ -177,6 +214,17 @@ mod tests {
     #[test]
     fn validate_ok() {
         assert!(triangle().validate().is_ok());
+    }
+
+    #[test]
+    fn memory_bytes_counts_compact_layout() {
+        // Triangle: offsets 4 × 4 bytes, neighbors 6 × 4 bytes.
+        let g = triangle();
+        assert_eq!(g.memory_bytes(), 4 * 4 + 6 * 4);
+        // 4-byte offsets: the footprint is exactly 4·(n+1) + 4·2m, with no
+        // 8-byte `usize` entries hiding anywhere.
+        let p = crate::gen::path(100);
+        assert_eq!(p.memory_bytes(), 4 * 101 + 4 * 2 * 99);
     }
 
     #[test]

@@ -1,5 +1,15 @@
 //! Elementary families: complete, path, cycle, star, complete bipartite.
+//!
+//! `path` and `cycle` assemble their (trivially sorted) CSR arrays
+//! directly instead of going through [`GraphBuilder`]: the builder
+//! materializes and sorts `2·2m` half-edge tuples before assembly, which
+//! at the ROADMAP's 10⁷⁺-node scale costs several transient GiB for a
+//! structure whose adjacency is known in closed form. The emitted graphs
+//! are element-for-element identical to the builder's output (both are
+//! checked by `Graph::validate` in debug builds, and the regression tests
+//! below pin the equality).
 
+use crate::csr::EdgeIndex;
 use crate::{Graph, GraphBuilder};
 
 /// Complete graph `K_n` (§2.3(a): `τ_s = τ_mix = O(1)`).
@@ -22,17 +32,38 @@ pub fn complete(n: usize) -> Graph {
 /// `τ_s = O(n²/β²)`).
 pub fn path(n: usize) -> Graph {
     assert!(n >= 2, "path needs n ≥ 2");
-    let mut b = GraphBuilder::new(n);
-    b.extend_edges((0..n - 1).map(|i| (i, i + 1)));
-    b.build()
+    crate::builder::check_edge_slots(2 * (n - 1), n).expect("path exceeds u32 offset range");
+    let mut offsets: Vec<EdgeIndex> = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<u32> = Vec::with_capacity(2 * (n - 1));
+    offsets.push(0);
+    for i in 0..n {
+        if i > 0 {
+            neighbors.push((i - 1) as u32);
+        }
+        if i + 1 < n {
+            neighbors.push((i + 1) as u32);
+        }
+        offsets.push(neighbors.len() as EdgeIndex);
+    }
+    Graph::from_raw(offsets, neighbors)
 }
 
 /// Cycle `C_n`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycle needs n ≥ 3");
-    let mut b = GraphBuilder::new(n);
-    b.extend_edges((0..n).map(|i| (i, (i + 1) % n)));
-    b.build()
+    crate::builder::check_edge_slots(2 * n, n).expect("cycle exceeds u32 offset range");
+    let mut offsets: Vec<EdgeIndex> = Vec::with_capacity(n + 1);
+    let mut neighbors: Vec<u32> = Vec::with_capacity(2 * n);
+    offsets.push(0);
+    for i in 0..n {
+        // Sorted adjacency {i−1 mod n, i+1 mod n}.
+        let (a, b) = (((i + n - 1) % n) as u32, ((i + 1) % n) as u32);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        neighbors.push(lo);
+        neighbors.push(hi);
+        offsets.push(neighbors.len() as EdgeIndex);
+    }
+    Graph::from_raw(offsets, neighbors)
 }
 
 /// Star: node 0 is the hub, `1..n` are leaves.
@@ -109,5 +140,21 @@ mod tests {
     #[should_panic(expected = "n ≥ 2")]
     fn tiny_complete_rejected() {
         let _ = complete(1);
+    }
+
+    #[test]
+    fn direct_csr_matches_builder_output() {
+        // path/cycle skip GraphBuilder; pin element-for-element equality
+        // against the builder's assembly.
+        for n in [2usize, 3, 7, 64] {
+            let mut b = GraphBuilder::new(n);
+            b.extend_edges((0..n - 1).map(|i| (i, i + 1)));
+            assert_eq!(path(n), b.build(), "path({n})");
+        }
+        for n in [3usize, 4, 7, 64] {
+            let mut b = GraphBuilder::new(n);
+            b.extend_edges((0..n).map(|i| (i, (i + 1) % n)));
+            assert_eq!(cycle(n), b.build(), "cycle({n})");
+        }
     }
 }

@@ -37,7 +37,9 @@ pub fn from_str(text: &str) -> Result<Graph, String> {
         .ok_or("missing m")?
         .parse()
         .map_err(|e| format!("bad m: {e}"))?;
-    let mut b = GraphBuilder::new(n);
+    // Untrusted input: surface the compact-layout capacity bounds as parse
+    // errors instead of panics.
+    let mut b = GraphBuilder::try_new(n).map_err(|e| e.to_string())?;
     let mut count = 0;
     for line in lines {
         let mut it = line.split_whitespace();
@@ -63,7 +65,7 @@ pub fn from_str(text: &str) -> Result<Graph, String> {
     if count != m {
         return Err(format!("header claims {m} edges, file has {count}"));
     }
-    let g = b.build();
+    let g = b.try_build().map_err(|e| e.to_string())?;
     if g.m() != m {
         return Err(format!("duplicate edges: {m} declared, {} distinct", g.m()));
     }

@@ -9,7 +9,10 @@
 //! provides both that substrate and its weighted generalization:
 //!
 //! * [`Graph`] — an immutable compressed-sparse-row (CSR) simple graph with
-//!   `u32` adjacency storage (cache-friendly; see the type docs).
+//!   `u32` adjacency storage *and* `u32` offsets (8 bytes/edge-slot total;
+//!   see `csr`'s module docs for the compact layout and its capacity
+//!   bound, reported as [`GraphError`] by the fallible builder entry
+//!   points).
 //! * [`WeightedGraph`] — the same CSR topology plus a parallel `f64` weight
 //!   array sharing the offsets, with symmetric-positive-weight invariants
 //!   and optional self-loop weights (transition probability ∝ edge weight;
@@ -49,7 +52,7 @@ pub mod traversal;
 pub mod walk;
 pub mod weighted;
 
-pub use builder::GraphBuilder;
+pub use builder::{GraphBuilder, GraphError};
 pub use csr::Graph;
 pub use walk::WalkGraph;
 pub use weighted::{WeightedGraph, WeightedGraphBuilder};

@@ -28,16 +28,19 @@ pub fn induced_subgraph(g: &Graph, nodes: &[usize]) -> Induced {
     if let Some(&max) = original.last() {
         assert!(max < g.n(), "node id {max} out of range");
     }
-    // Map original id -> new id.
-    let mut new_id = vec![usize::MAX; g.n()];
+    // Map original id -> new id. Compact u32 scratch (ids fit: the parent
+    // graph's builder bounds n ≤ u32::MAX, so real ids never collide with
+    // the u32::MAX "absent" sentinel) — at parent scale this map is the
+    // dominant allocation of the extraction.
+    let mut new_id = vec![u32::MAX; g.n()];
     for (i, &u) in original.iter().enumerate() {
-        new_id[u] = i;
+        new_id[u] = i as u32;
     }
     let mut b = GraphBuilder::new(original.len());
     for &u in &original {
         for v in g.neighbors(u) {
-            if u < v && new_id[v] != usize::MAX {
-                b.add_edge(new_id[u], new_id[v]);
+            if u < v && new_id[v] != u32::MAX {
+                b.add_edge(new_id[u] as usize, new_id[v] as usize);
             }
         }
     }

@@ -21,6 +21,25 @@
 //!   (besides [`WalkGraph::sample_step`]'s caller-supplied RNG), so the
 //!   rayon-parallel walk step stays deterministic.
 //!
+//! # Explicit-lane `pull_block` kernels
+//!
+//! Both implementations dispatch [`WalkGraph::pull_block`] to
+//! **const-generic explicit-lane kernels** for the common block widths
+//! `W ∈ {1, 2, 4, 8}` (every other width falls back to the dynamic-width
+//! loop). The lane count being a compile-time constant turns the per-lane
+//! accumulator into a fixed `[f64; W]` on the stack with a fixed-trip-count
+//! inner loop — the shape LLVM unrolls and autovectorizes — where the
+//! dynamic-width loop compiles to scalar adds over a runtime-length slice.
+//!
+//! **Why this cannot change a single bit:** for each lane `j`, the kernel
+//! performs *the same floating-point operations in the same order* as the
+//! dynamic loop — terms are added in ascending-neighbor order, one add per
+//! neighbor, loop term last (weighted). Vectorization only batches the
+//! *independent* per-lane accumulators side by side; it never reassociates
+//! the per-lane addition chains, so lane `j` of any kernel is bit-identical
+//! to a solo [`WalkGraph::pull`] (the property the kernel tests and the
+//! workspace determinism suite pin).
+//!
 //! Later scenario growth (the ROADMAP's dynamic edge-churn networks) plugs
 //! in by implementing this trait, not by rewriting the walk stack.
 
@@ -106,6 +125,29 @@ pub trait WalkGraph: Sync {
     fn sample_step(&self, at: usize, rng: &mut SmallRng) -> usize;
 }
 
+impl Graph {
+    /// Explicit-lane unweighted SpMM kernel: [`WalkGraph::pull_block`] with
+    /// the lane count fixed at compile time, so the `W` accumulators live
+    /// in a stack array and the inner loop has a constant trip count (the
+    /// autovectorizable shape — module docs). Per lane, the adds are the
+    /// dynamic kernel's adds in the same ascending-neighbor order.
+    #[inline]
+    fn pull_lanes<const W: usize>(&self, v: usize, p: &[f64], out: &mut [f64]) {
+        let mut acc = [0.0f64; W];
+        for &u in self.neighbors_raw(v) {
+            let u = u as usize;
+            let d = self.degree(u);
+            debug_assert!(d > 0);
+            let d = d as f64;
+            let row = &p[u * W..u * W + W];
+            for j in 0..W {
+                acc[j] += row[j] / d;
+            }
+        }
+        out[..W].copy_from_slice(&acc);
+    }
+}
+
 impl WalkGraph for Graph {
     #[inline]
     fn topology(&self) -> &Graph {
@@ -143,7 +185,17 @@ impl WalkGraph for Graph {
     #[inline]
     fn pull_block(&self, v: usize, p: &[f64], width: usize, out: &mut [f64]) {
         // Lane-for-lane the `pull` kernel above: each lane's sum starts at
-        // 0.0 and adds `p_j(u) / d(u)` in neighbor-ascending order.
+        // 0.0 and adds `p_j(u) / d(u)` in neighbor-ascending order. Common
+        // widths dispatch to the explicit-lane kernels (see the module
+        // docs); uncommon widths (retired-lane blocks) take the dynamic
+        // loop below — same arithmetic either way.
+        match width {
+            1 => return self.pull_lanes::<1>(v, p, out),
+            2 => return self.pull_lanes::<2>(v, p, out),
+            4 => return self.pull_lanes::<4>(v, p, out),
+            8 => return self.pull_lanes::<8>(v, p, out),
+            _ => {}
+        }
         out.fill(0.0);
         for &u in self.neighbors_raw(v) {
             let u = u as usize;
@@ -243,6 +295,37 @@ mod tests {
                     g.pull(v, col).to_bits(),
                     "lane {j} at node {v}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_lane_kernels_bit_identical_to_pull() {
+        // Widths 1/2/4/8 hit the const-generic kernels, 3/5/7 the dynamic
+        // fallback; every lane of every width must reproduce the solo
+        // kernel to the last bit.
+        let g = gen::lollipop(6, 4);
+        let n = g.n();
+        for width in [1usize, 2, 3, 4, 5, 7, 8] {
+            let cols: Vec<Vec<f64>> = (0..width)
+                .map(|j| (0..n).map(|v| ((v * 13 + j * 5 + 1) as f64).recip()).collect())
+                .collect();
+            let mut interleaved = vec![0.0; n * width];
+            for (j, col) in cols.iter().enumerate() {
+                for v in 0..n {
+                    interleaved[v * width + j] = col[v];
+                }
+            }
+            let mut out = vec![f64::NAN; width];
+            for v in 0..n {
+                g.pull_block(v, &interleaved, width, &mut out);
+                for (j, col) in cols.iter().enumerate() {
+                    assert_eq!(
+                        out[j].to_bits(),
+                        g.pull(v, col).to_bits(),
+                        "width {width}, lane {j} at node {v}"
+                    );
+                }
             }
         }
     }

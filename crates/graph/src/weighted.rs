@@ -151,6 +151,42 @@ impl WeightedGraph {
         self.total
     }
 
+    /// Heap bytes held by the graph: the compact CSR topology
+    /// ([`Graph::memory_bytes`]) plus the parallel `f64` arrays (`2m`
+    /// weights, `n` loops, `n` cached walk degrees).
+    #[inline]
+    pub fn memory_bytes(&self) -> usize {
+        self.topo.memory_bytes()
+            + (self.weights.len() + self.loops.len() + self.wdeg.len())
+                * std::mem::size_of::<f64>()
+    }
+
+    /// Explicit-lane weighted SpMM kernel: `pull_block` with the lane count
+    /// fixed at compile time (see `lmt-graph::walk`'s module docs for the
+    /// autovectorization rationale and the bit-identity argument). Per
+    /// lane: multiply-then-divide per term, ascending-neighbor order, loop
+    /// term last — exactly the dynamic kernel's operation sequence.
+    #[inline]
+    fn pull_lanes<const W: usize>(&self, v: usize, p: &[f64], out: &mut [f64]) {
+        let mut acc = [0.0f64; W];
+        for (u, w) in self.neighbor_weights(v) {
+            let wd = self.wdeg[u];
+            let row = &p[u * W..u * W + W];
+            for j in 0..W {
+                acc[j] += row[j] * w / wd;
+            }
+        }
+        let lw = self.loops[v];
+        if lw > 0.0 {
+            let wd = self.wdeg[v];
+            let row = &p[v * W..v * W + W];
+            for j in 0..W {
+                acc[j] += row[j] * lw / wd;
+            }
+        }
+        out[..W].copy_from_slice(&acc);
+    }
+
     /// Check all invariants (topology CSR invariants plus the
     /// symmetric-positive-weight invariants of the module docs); returns a
     /// human-readable error on the first failure.
@@ -236,7 +272,15 @@ impl crate::walk::WalkGraph for WeightedGraph {
         // Lane-for-lane the weighted `pull` kernel: multiply-then-divide
         // per term, neighbors in ascending order, loop term last — so each
         // lane is bit-identical to a solo sweep (and, with unit weights, to
-        // the unweighted kernel).
+        // the unweighted kernel). Common widths take the explicit-lane
+        // kernels; other widths the dynamic loop — same arithmetic.
+        match width {
+            1 => return self.pull_lanes::<1>(v, p, out),
+            2 => return self.pull_lanes::<2>(v, p, out),
+            4 => return self.pull_lanes::<4>(v, p, out),
+            8 => return self.pull_lanes::<8>(v, p, out),
+            _ => {}
+        }
         out.fill(0.0);
         for (u, w) in self.neighbor_weights(v) {
             let wd = self.wdeg[u];
@@ -314,13 +358,25 @@ pub struct WeightedGraphBuilder {
 
 impl WeightedGraphBuilder {
     /// Builder for a weighted graph on nodes `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the `u32` id space — use
+    /// [`WeightedGraphBuilder::try_new`] for a recoverable error.
     pub fn new(n: usize) -> Self {
-        assert!(n <= u32::MAX as usize, "node count exceeds u32 range");
-        WeightedGraphBuilder {
+        WeightedGraphBuilder::try_new(n).expect("node count exceeds u32 range")
+    }
+
+    /// Fallible [`WeightedGraphBuilder::new`]: rejects node counts outside
+    /// the `u32` id space with [`crate::GraphError::TooManyNodes`]. The
+    /// guard runs *before* the per-node loop array is allocated, so an
+    /// absurd `n` is an `Err`, not an allocation attempt.
+    pub fn try_new(n: usize) -> Result<Self, crate::GraphError> {
+        crate::builder::check_node_count(n)?;
+        Ok(WeightedGraphBuilder {
             n,
             arcs: Vec::new(),
             loops: vec![0.0; n],
-        }
+        })
     }
 
     /// Number of nodes.
@@ -368,13 +424,26 @@ impl WeightedGraphBuilder {
     }
 
     /// Finish: sort, merge duplicates (summing weights), assemble CSR.
-    pub fn build(mut self) -> WeightedGraph {
+    ///
+    /// # Panics
+    /// Panics if the deduplicated edge-slot count overflows the compact
+    /// offset layout — use [`WeightedGraphBuilder::try_build`] for a
+    /// recoverable error.
+    pub fn build(self) -> WeightedGraph {
+        self.try_build().expect("edge slots exceed u32 offset range")
+    }
+
+    /// Fallible [`WeightedGraphBuilder::build`]: rejects graphs whose
+    /// (deduplicated) `2m + n` slot count — edge-weight slots plus
+    /// per-node loop slots — overflows the `u32` offset space with
+    /// [`crate::GraphError::TooManyEdgeSlots`].
+    pub fn try_build(mut self) -> Result<WeightedGraph, crate::GraphError> {
         // Sort by (src, dst) only — weights of duplicate arcs merge by
         // addition, which is order-insensitive up to float association;
         // both directions of an edge see the same addend sequence (arcs
         // are pushed pairwise), so symmetry holds bitwise.
         self.arcs.sort_by_key(|&(u, v, _)| (u, v));
-        let mut b = GraphBuilder::new(self.n);
+        let mut b = GraphBuilder::try_new(self.n)?;
         let mut weights: Vec<f64> = Vec::with_capacity(self.arcs.len());
         let mut i = 0;
         while i < self.arcs.len() {
@@ -389,8 +458,8 @@ impl WeightedGraphBuilder {
             }
             weights.push(w);
         }
-        let topo = b.build();
-        WeightedGraph::from_parts(topo, weights, self.loops)
+        let topo = b.try_build()?;
+        Ok(WeightedGraph::from_parts(topo, weights, self.loops))
     }
 }
 
@@ -508,6 +577,77 @@ mod tests {
                     g.pull(v, col).to_bits(),
                     "lane {j} at node {v}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bytes_counts_weight_arrays() {
+        let g = weighted_triangle();
+        // Topology (4 offsets + 6 neighbors, 4 bytes each) + 6 weights +
+        // 3 loops + 3 cached walk degrees (8 bytes each).
+        assert_eq!(g.memory_bytes(), (4 + 6) * 4 + (6 + 3 + 3) * 8);
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_node_count() {
+        let err = WeightedGraphBuilder::try_new(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(
+            err,
+            crate::GraphError::TooManyNodes {
+                n: u32::MAX as usize + 1
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn new_panics_on_oversized_node_count() {
+        let _ = WeightedGraphBuilder::new(u32::MAX as usize + 1);
+    }
+
+    #[test]
+    fn try_build_succeeds_on_small_graphs() {
+        let mut b = WeightedGraphBuilder::try_new(2).unwrap();
+        b.add_edge(0, 1, 0.5);
+        let g = b.try_build().unwrap();
+        assert_eq!(g.edge_weight(0, 1), Some(0.5));
+    }
+
+    #[test]
+    fn explicit_lane_kernels_bit_identical_to_pull() {
+        // All dispatch widths (1/2/4/8 explicit, 3/5 dynamic) on a weighted
+        // graph with a loop in play: each lane must match the solo kernel
+        // bit-for-bit.
+        let mut b = WeightedGraphBuilder::new(5);
+        b.add_edge(0, 1, 1.5);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(0, 2, 4.0);
+        b.add_edge(2, 3, 0.25);
+        b.add_edge(3, 4, 1.0 / 3.0);
+        b.add_loop(2, 3.0);
+        let g = b.build();
+        let n = g.n();
+        for width in [1usize, 2, 3, 4, 5, 8] {
+            let cols: Vec<Vec<f64>> = (0..width)
+                .map(|j| (0..n).map(|v| 0.1 + 0.3 * ((v + j) as f64)).collect())
+                .collect();
+            let mut interleaved = vec![0.0; n * width];
+            for (j, col) in cols.iter().enumerate() {
+                for v in 0..n {
+                    interleaved[v * width + j] = col[v];
+                }
+            }
+            let mut out = vec![f64::NAN; width];
+            for v in 0..n {
+                g.pull_block(v, &interleaved, width, &mut out);
+                for (j, col) in cols.iter().enumerate() {
+                    assert_eq!(
+                        out[j].to_bits(),
+                        g.pull(v, col).to_bits(),
+                        "width {width}, lane {j} at node {v}"
+                    );
+                }
             }
         }
     }

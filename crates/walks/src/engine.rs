@@ -67,6 +67,26 @@
 //! never on thread count or timing). Either path produces identical bits,
 //! so the threshold is pure policy; [`BlockEvolution::with_crossover`]
 //! exposes it for tuning and for the determinism suite's boundary test.
+//!
+//! # Cache-blocked dense sweep
+//!
+//! The dense path is tiled: destination rows are processed in runs of
+//! [`dense_tile_rows`]`(width)` rows, sized so one tile's output block-row
+//! (`width` lanes × tile rows × 8 bytes) plus the `cur` lanes its pulls
+//! touch stay within an L2-sized working set (`TILE_L2_BYTES`, 256 KiB). On
+//! index-local topologies (paths, cycles, grids, cliques-in-a-row — most
+//! of the §2.3 calibration families) a destination tile's sources are a
+//! narrow band of `cur`, so the whole step streams through cache-resident
+//! tiles instead of walking the full `n × width` matrix per scheduling
+//! quantum. The tiles ride the same `par_chunks_mut` seam the thread pool
+//! already splits — a tile is just the new chunk unit — and tiling is
+//! **pure policy**: each destination row's arithmetic is untouched and
+//! rows are disjoint writes, so the result is bit-identical for every tile
+//! size and thread count (the workspace determinism suite pins tile sizes
+//! × `LMT_THREADS` 1/2/8). [`BlockEvolution::set_tile_rows`] overrides the
+//! policy for tests and tuning. `lmt-spectral::power` and `lmt-service`
+//! drive their dense sweeps through this engine, so they inherit the
+//! blocking for free.
 
 use crate::dist::Dist;
 use crate::step::{assert_walkable, WalkKind};
@@ -84,6 +104,21 @@ pub const DENSE_CROSSOVER: f64 = 0.5;
 /// few flops per neighbor, so the per-row floor shrinks as the block
 /// widens.
 const PAR_MIN_ROWS: usize = 2048;
+
+/// Working-set target for one dense-sweep tile: 256 KiB, a conservative
+/// per-core L2 slice that leaves room for the CSR row data the tile reads
+/// alongside the two f64 block-rows it touches.
+const TILE_L2_BYTES: usize = 1 << 18;
+
+/// Dense-sweep tile height (destination rows per tile) for a block of
+/// `width` lanes: the output block-row plus an equal-sized band of `cur`
+/// (2 × `width` × 8 bytes per row) fit `TILE_L2_BYTES` (256 KiB), floored at 64
+/// rows so narrow blocks do not degenerate into per-row scheduling. The
+/// value is pure policy (see the module docs); results are identical for
+/// any tile size.
+pub fn dense_tile_rows(width: usize) -> usize {
+    (TILE_L2_BYTES / (2 * 8 * width.max(1))).max(64)
+}
 
 /// `B` walk distributions advanced in lock-step through one shared CSR
 /// sweep per step, frontier-sparse until the support outgrows the
@@ -111,6 +146,10 @@ pub struct BlockEvolution<'g, G: WalkGraph + ?Sized> {
     /// One-way flag: the dense parallel path has taken over.
     dense: bool,
     crossover: f64,
+    /// Dense-sweep tile override; `None` = [`dense_tile_rows`] policy
+    /// (recomputed per step — [`Self::retire`] changes the width
+    /// mid-flight).
+    tile_rows: Option<usize>,
     steps: usize,
 }
 
@@ -152,6 +191,7 @@ impl<'g, G: WalkGraph + ?Sized> BlockEvolution<'g, G> {
             candidates: BitSet::new(n),
             dense: false,
             crossover,
+            tile_rows: None,
             steps: 0,
         }
     }
@@ -182,6 +222,7 @@ impl<'g, G: WalkGraph + ?Sized> BlockEvolution<'g, G> {
             candidates: BitSet::new(n),
             dense: false,
             crossover: DENSE_CROSSOVER,
+            tile_rows: None,
             steps: 0,
         }
     }
@@ -225,6 +266,7 @@ impl<'g, G: WalkGraph + ?Sized> BlockEvolution<'g, G> {
             candidates: BitSet::new(n),
             dense: false,
             crossover: DENSE_CROSSOVER,
+            tile_rows: None,
             steps: 0,
         }
     }
@@ -252,6 +294,16 @@ impl<'g, G: WalkGraph + ?Sized> BlockEvolution<'g, G> {
     #[inline]
     pub fn is_dense(&self) -> bool {
         self.dense
+    }
+
+    /// Override the dense-sweep tile height (`None` restores the
+    /// [`dense_tile_rows`] policy, which re-adapts when [`Self::retire`]
+    /// narrows the block). Tile size is **pure policy**: every value
+    /// yields bit-identical results at every thread count — the override
+    /// exists for the determinism suite (which pins exactly that) and for
+    /// tuning.
+    pub fn set_tile_rows(&mut self, rows: Option<usize>) {
+        self.tile_rows = rows;
     }
 
     /// Size of the current union support. After the dense crossover the
@@ -323,21 +375,31 @@ impl<'g, G: WalkGraph + ?Sized> BlockEvolution<'g, G> {
         }
     }
 
-    /// Pull every row on the rayon pool (same arithmetic, full sweep).
+    /// Pull every row on the rayon pool (same arithmetic, full sweep),
+    /// cache-blocked: the chunk unit is a *tile* of `tile` destination
+    /// rows (see the module docs), walked row by row inside each worker.
+    /// Per-row arithmetic is identical to the untiled sweep, so tile size
+    /// is pure policy.
     fn dense_step(&mut self) {
         let w = self.width;
         let g = self.g;
         let kind = self.kind;
         let cur = &self.cur;
+        let tile = self.tile_rows.unwrap_or_else(|| dense_tile_rows(w)).max(1);
+        let min_tiles = ((PAR_MIN_ROWS / w).max(1)).div_ceil(tile);
         self.nxt
-            .par_chunks_mut(w)
-            .with_min_len((PAR_MIN_ROWS / w).max(1))
+            .par_chunks_mut(w * tile)
+            .with_min_len(min_tiles.max(1))
             .enumerate()
-            .for_each(|(v, row)| {
-                g.pull_block(v, cur, w, row);
-                if kind == WalkKind::Lazy {
-                    for (o, &c) in row.iter_mut().zip(&cur[v * w..(v + 1) * w]) {
-                        *o = 0.5 * c + 0.5 * *o;
+            .for_each(|(ti, tile_buf)| {
+                let base = ti * tile;
+                for (r, row) in tile_buf.chunks_mut(w).enumerate() {
+                    let v = base + r;
+                    g.pull_block(v, cur, w, row);
+                    if kind == WalkKind::Lazy {
+                        for (o, &c) in row.iter_mut().zip(&cur[v * w..(v + 1) * w]) {
+                            *o = 0.5 * c + 0.5 * *o;
+                        }
                     }
                 }
             });
@@ -641,6 +703,44 @@ mod tests {
             let solo = dense_reference(&g, s, WalkKind::Lazy, 7).pop().unwrap();
             assert_eq!(block.lane_dist(j), solo, "lane {j} (source {s})");
         }
+    }
+
+    #[test]
+    fn tile_size_never_changes_dense_results() {
+        // Force the dense path from step 0 and sweep tile heights from
+        // degenerate (1 row) through "one tile covers everything": every
+        // trajectory must be bit-identical to the policy default.
+        let g = gen::random_regular(96, 6, 11);
+        let sources = [0usize, 17, 40];
+        let t = 8;
+        let reference: Vec<Dist> = {
+            let mut b = BlockEvolution::with_crossover(&g, &sources, WalkKind::Lazy, 0.0);
+            for _ in 0..t {
+                b.step();
+            }
+            (0..b.width()).map(|j| b.lane_dist(j)).collect()
+        };
+        for tile in [1usize, 2, 7, 64, 4096] {
+            let mut b = BlockEvolution::with_crossover(&g, &sources, WalkKind::Lazy, 0.0);
+            b.set_tile_rows(Some(tile));
+            for _ in 0..t {
+                b.step();
+            }
+            assert!(b.is_dense());
+            for (j, want) in reference.iter().enumerate() {
+                assert_eq!(&b.lane_dist(j), want, "tile {tile}, lane {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_policy_adapts_to_width() {
+        // Narrow blocks get tall tiles, wide blocks short ones; both ends
+        // respect the 64-row floor.
+        assert_eq!(dense_tile_rows(1), (1 << 18) / 16);
+        assert_eq!(dense_tile_rows(8), (1 << 18) / 128);
+        assert_eq!(dense_tile_rows(1 << 20), 64);
+        assert_eq!(dense_tile_rows(0), dense_tile_rows(1));
     }
 
     #[test]

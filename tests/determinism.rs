@@ -491,6 +491,39 @@ mod evolution_engine {
         format!("{blocked:?}")
     }
 
+    /// Digest of a dense (crossover 0) blocked evolution run at an explicit
+    /// destination-tile override, compared lane-by-lane against solo dense
+    /// runs. The tile is a pure cache policy — any tile size must reproduce
+    /// the untiled arithmetic bit-for-bit.
+    pub fn tiled_vs_solo_digest<G: WalkGraph + ?Sized>(
+        g: &G,
+        sources: &[usize],
+        kind: WalkKind,
+        t: usize,
+        tile_rows: Option<usize>,
+    ) -> String {
+        let mut ev = BlockEvolution::with_crossover(g, sources, kind, 0.0);
+        ev.set_tile_rows(tile_rows);
+        for _ in 0..t {
+            ev.step();
+        }
+        // Crossover 0 flips dense on the very first step, so every tiled
+        // step above went through the blocked sweep.
+        assert!(ev.is_dense(), "crossover 0 must go dense immediately");
+        for (j, &s) in sources.iter().enumerate() {
+            let solo = dense_trajectory(g, s, kind, t).pop().unwrap();
+            assert_eq!(
+                ev.lane_dist(j),
+                solo,
+                "tile {tile_rows:?} lane {j} != solo source {s}"
+            );
+        }
+        (0..sources.len())
+            .map(|j| format!("{:?}", ev.lane_dist(j)))
+            .collect::<Vec<_>>()
+            .join(" ; ")
+    }
+
     /// A crossover sitting exactly on a step's candidate volume: lazy C_64
     /// from one source has candidate volume 2(2t+3) before step t+1, so
     /// 18/128 fires the ≥-threshold precisely entering step 4.
@@ -556,6 +589,46 @@ proptest! {
             prop_assert!(
                 pair[0].1 == pair[1].1,
                 "blocked results drifted between widths {} and {}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The cache-blocked dense sweep (this PR): every destination-tile
+    /// size — 1 (degenerate), odd (ragged last tile), larger than n
+    /// (single tile) — and the width-adaptive default must be bit-identical
+    /// to solo dense runs, at block widths 1/2/8 and at every pool width.
+    /// Tiling only regroups the rows handed to `pull_block`; the per-row
+    /// arithmetic never changes.
+    #[test]
+    fn engine_tiled_sweep_equals_solo((n, d, seed) in regular_spec()) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let wg = gen::weighted::random_weights(g.clone(), 0.25, 4.0, seed ^ 0x71E);
+        let results = at_widths(|| {
+            let mut digests = Vec::new();
+            for block_width in [1usize, 2, 8] {
+                let sources: Vec<usize> = (0..block_width).map(|j| (j * 5) % n).collect();
+                for tile in [None, Some(1), Some(7), Some(4096)] {
+                    digests.push(evolution_engine::tiled_vs_solo_digest(
+                        &g, &sources, WalkKind::Lazy, 10, tile,
+                    ));
+                    digests.push(evolution_engine::tiled_vs_solo_digest(
+                        &wg, &sources, WalkKind::Lazy, 10, tile,
+                    ));
+                }
+            }
+            digests.join(" || ")
+        });
+        for pair in results.windows(2) {
+            prop_assert!(
+                pair[0].1 == pair[1].1,
+                "tiled sweep drifted between widths {} and {}",
                 pair[0].0,
                 pair[1].0
             );
