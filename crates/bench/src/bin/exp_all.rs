@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         "exp_t13_upcast_ablation",
         "exp_e1_engine_ab",
         "exp_service",
+        "exp_churn",
     ];
     // Invoke sibling binaries from the same target directory.
     let me = std::env::current_exe().expect("own path");

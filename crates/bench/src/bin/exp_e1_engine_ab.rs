@@ -68,6 +68,7 @@ impl Ab<'_> {
                 eps: EPS,
                 engine: impl_label.to_string(),
                 fault: "none".to_string(),
+                churn: "none".to_string(),
                 threads,
                 tau: Some(tau),
                 mem_bytes: None,

@@ -19,7 +19,7 @@
 //! absolute throughput, across hosts.
 
 use lmt_bench::record::bench_dir;
-use lmt_bench::spec::{EngineChoice, FaultSpec, GraphSpec, SweepSpec, Weighting};
+use lmt_bench::spec::{ChurnSpec, EngineChoice, FaultSpec, GraphSpec, SweepSpec, Weighting};
 use lmt_bench::sweep::{render_table, run_sweep};
 use lmt_bench::EPS;
 use lmt_util::table::Table;
@@ -41,6 +41,7 @@ fn main() {
         betas: vec![8.0],
         epsilons: vec![EPS],
         faults: vec![FaultSpec::None],
+        churns: vec![ChurnSpec::None],
         engines: vec![EngineChoice::ServiceCold, EngineChoice::ServiceWarm],
         threads: vec![1],
         service_sources: SOURCES,

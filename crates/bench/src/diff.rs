@@ -243,6 +243,7 @@ mod tests {
             eps: 0.046,
             engine: "engine".into(),
             fault: "none".into(),
+            churn: "none".into(),
             threads: 1,
             tau,
             mem_bytes: None,

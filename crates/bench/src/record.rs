@@ -37,6 +37,10 @@ pub struct Cell {
     /// the fault dimension existed omit the key; it reads back as
     /// `"none"`, which is exactly what those runs were.
     pub fault: String,
+    /// Churn-schedule label (`"none"` when the topology is static).
+    /// Records written before the churn dimension existed omit the key;
+    /// it reads back as `"none"`, which is exactly what those runs were.
+    pub churn: String,
     /// Pool width (`LMT_THREADS`) the cell ran at.
     pub threads: usize,
     /// Measured `τ_s(β,ε)`; `None` (JSON `null`) when no witness appeared
@@ -113,6 +117,7 @@ impl Cell {
             ("eps", Json::from(self.eps)),
             ("engine", Json::from(self.engine.as_str())),
             ("fault", Json::from(self.fault.as_str())),
+            ("churn", Json::from(self.churn.as_str())),
             ("threads", Json::from(self.threads)),
             ("tau", Json::from(self.tau)),
             ("mem_bytes", Json::from(self.mem_bytes)),
@@ -149,6 +154,14 @@ impl Cell {
                     f.as_str()
                         .map(str::to_string)
                         .ok_or("cell: mistyped \"fault\" (string)".to_string())
+                })
+                .unwrap_or_else(|| Ok("none".into()))?,
+            churn: v
+                .get("churn")
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or("cell: mistyped \"churn\" (string)".to_string())
                 })
                 .unwrap_or_else(|| Ok("none".into()))?,
             threads: v
@@ -322,6 +335,7 @@ mod tests {
                     eps: 0.046,
                     engine: "engine".into(),
                     fault: "none".into(),
+                    churn: "none".into(),
                     threads: 1,
                     tau: Some(1),
                     mem_bytes: Some(548),
@@ -341,6 +355,7 @@ mod tests {
                     eps: 0.01,
                     engine: "dense".into(),
                     fault: "drop(p=0.2,seed=7)".into(),
+                    churn: "swap(batches=3,seed=23)".into(),
                     threads: 2,
                     tau: None,
                     mem_bytes: None,
@@ -381,6 +396,21 @@ mod tests {
         assert_ne!(text, stripped, "sample must serialize the field");
         let r = BenchRecord::parse(&stripped).unwrap();
         assert!(r.cells.iter().all(|c| c.fault == "none"));
+    }
+
+    #[test]
+    fn missing_churn_field_reads_as_none() {
+        // Pre-churn-dimension records (every committed golden) have no
+        // "churn" key; they must keep parsing, as static-topology cells.
+        let text = sample().to_json().render();
+        let stripped = text
+            .lines()
+            .filter(|l| !l.contains("\"churn\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_ne!(text, stripped, "sample must serialize the field");
+        let r = BenchRecord::parse(&stripped).unwrap();
+        assert!(r.cells.iter().all(|c| c.churn == "none"));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! JSON file.
 //!
 //! A spec names a point set in **graph family × weighting × (β,ε) grid ×
-//! fault plan × engine × pool width**; the runner ([`crate::sweep`])
+//! fault plan × churn schedule × engine × pool width**; the runner ([`crate::sweep`])
 //! executes every cell of the cross product and emits one
 //! `BENCH_<tag>.json` record. Committed specs live under `specs/` (see
 //! EXPERIMENTS.md for the format reference, `specs/tiny.json` for the CI
@@ -11,13 +11,16 @@
 //! The parser is strict: unknown keys anywhere in the spec are errors, so a
 //! typo'd dimension name cannot silently shrink a sweep. Cross-dimension
 //! constraints are also enforced at parse time: application engines
-//! (`elect`, `spread`) run on unit-weighted graphs only, and non-trivial
+//! (`elect`, `spread`) run on unit-weighted graphs only, non-trivial
 //! faults only make sense for application engines (the τ engines have no
-//! fault hook — a faulty τ cell would silently measure nothing).
+//! fault hook — a faulty τ cell would silently measure nothing), and
+//! non-trivial churn only makes sense for the τ-service engines on unit
+//! weighting (only `TauService` has an `apply_churn` hook, and the churn
+//! substrate is the unweighted `ChurnGraph`).
 
 use lmt_congest::fault::FaultPlan;
 use lmt_graph::gen::{self, Workload};
-use lmt_graph::{Graph, WeightedGraph};
+use lmt_graph::{ChurnGraph, EdgeEdit, Graph, WalkGraph, WeightedGraph};
 
 use crate::json::Json;
 
@@ -44,6 +47,9 @@ pub struct SweepSpec {
     pub epsilons: Vec<f64>,
     /// Fault-plan dimension (defaults to the single trivial plan).
     pub faults: Vec<FaultSpec>,
+    /// Churn dimension: edit-batch schedules applied to the live service
+    /// between cache warm-up and measurement (defaults to no churn).
+    pub churns: Vec<ChurnSpec>,
     /// Engine dimension (which measurement runs the cell).
     pub engines: Vec<EngineChoice>,
     /// `LMT_THREADS` pool-width dimension.
@@ -155,6 +161,81 @@ impl FaultSpec {
             FaultSpec::None => APP_SEED,
             FaultSpec::Drop { seed, .. } | FaultSpec::Crash { seed, .. } => seed,
         }
+    }
+}
+
+/// One churn schedule in the churn dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnSpec {
+    /// No churn (the default dimension value).
+    None,
+    /// `batches` seeded edit batches, one degree-preserving 2-swap each
+    /// (delete `(a,b)` and `(c,d)`, insert `(a,c)` and `(b,d)`), applied
+    /// through `TauService::apply_churn` between cache warm-up and
+    /// measurement. Degree-preserving, so regular families stay regular
+    /// and every cell keeps answering real τ values.
+    Swap {
+        /// Number of edit batches.
+        batches: usize,
+        /// Schedule seed.
+        seed: u64,
+    },
+}
+
+impl ChurnSpec {
+    /// Display label used in scenario keys (`"none"` for no churn;
+    /// churn-free scenario keys omit the churn segment entirely so
+    /// pre-churn-dimension records keep matching).
+    pub fn label(&self) -> String {
+        match self {
+            ChurnSpec::None => "none".into(),
+            ChurnSpec::Swap { batches, seed } => format!("swap(batches={batches},seed={seed})"),
+        }
+    }
+
+    /// Materialize the edit-batch schedule against `base`: each batch is
+    /// one 2-swap drawn (xorshift64* stream — same spec, same schedule,
+    /// always) from the topology *as edited so far*, so later batches stay
+    /// valid after earlier ones land. Batches where 64 draws find no valid
+    /// swap are skipped (tiny dense graphs).
+    pub fn schedule(&self, base: &Graph) -> Vec<Vec<EdgeEdit>> {
+        let ChurnSpec::Swap { batches, seed } = *self else {
+            return Vec::new();
+        };
+        let mut cg = ChurnGraph::new(base.clone());
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        let mut out = Vec::new();
+        for _ in 0..batches {
+            let g = cg.topology();
+            let edges: Vec<(usize, usize)> = g.edges().collect();
+            let swap = (0..64).find_map(|_| {
+                let (a, b) = edges[(next() % edges.len() as u64) as usize];
+                let (c, d) = edges[(next() % edges.len() as u64) as usize];
+                (a != c && a != d && b != c && b != d
+                    && !g.has_edge(a, c)
+                    && !g.has_edge(b, d))
+                .then(|| {
+                    vec![
+                        EdgeEdit::delete(a, b),
+                        EdgeEdit::delete(c, d),
+                        EdgeEdit::insert(a, c),
+                        EdgeEdit::insert(b, d),
+                    ]
+                })
+            });
+            if let Some(batch) = swap {
+                use lmt_graph::Churnable;
+                cg.apply_edits(&batch).expect("drawn swap is valid");
+                out.push(batch);
+            }
+        }
+        out
     }
 }
 
@@ -431,6 +512,40 @@ fn parse_fault(v: &Json) -> Result<FaultSpec, String> {
     }
 }
 
+fn parse_churn(v: &Json) -> Result<ChurnSpec, String> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "none" => Ok(ChurnSpec::None),
+            other => Err(format!(
+                "churn: unknown shorthand {other:?} (only \"none\"; use an object otherwise)"
+            )),
+        };
+    }
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("churn: must be \"none\" or an object with a \"kind\"")?;
+    let what = format!("churn {kind:?}");
+    match kind {
+        "none" => {
+            reject_unknown_keys(v, &["kind"], &what)?;
+            Ok(ChurnSpec::None)
+        }
+        "swap" => {
+            reject_unknown_keys(v, &["kind", "batches", "seed"], &what)?;
+            let batches = usize_field(v, "batches", &what)?;
+            if batches == 0 {
+                return Err(format!("{what}: batches must be ≥ 1 (0 is \"none\")"));
+            }
+            Ok(ChurnSpec::Swap {
+                batches,
+                seed: usize_field(v, "seed", &what)? as u64,
+            })
+        }
+        other => Err(format!("churn: unknown kind {other:?} (none, swap)")),
+    }
+}
+
 fn parse_weighting(v: &Json) -> Result<Weighting, String> {
     if let Some(s) = v.as_str() {
         return match s {
@@ -517,6 +632,7 @@ impl SweepSpec {
                 "betas",
                 "epsilons",
                 "faults",
+                "churn",
                 "engines",
                 "threads",
                 "service_sources",
@@ -585,6 +701,13 @@ impl SweepSpec {
                 .map(parse_fault)
                 .collect::<Result<Vec<_>, _>>()?,
         };
+        let churns = match v.get("churn") {
+            None => vec![ChurnSpec::None],
+            Some(_) => non_empty_arr(&v, "churn")?
+                .iter()
+                .map(parse_churn)
+                .collect::<Result<Vec<_>, _>>()?,
+        };
         let engines: Vec<EngineChoice> = match v.get("engines") {
             None => vec![EngineChoice::Engine],
             Some(_) => non_empty_arr(&v, "engines")?
@@ -605,6 +728,20 @@ impl SweepSpec {
             return Err("spec: non-trivial faults need application engines (elect, spread) — \
                         the τ engines have no fault hook"
                 .into());
+        }
+        if churns.iter().any(|c| *c != ChurnSpec::None) {
+            if engines.iter().any(|e| !e.is_service()) {
+                return Err("spec: non-trivial churn needs service engines (service_cold, \
+                            service_warm) — only the τ-service has an apply_churn hook"
+                    .into());
+            }
+            if weightings.iter().any(|w| *w != Weighting::Unit) {
+                return Err(
+                    "spec: non-trivial churn runs on unit weighting only (the churn \
+                     substrate is the unweighted ChurnGraph)"
+                        .into(),
+                );
+            }
         }
         let threads = match v.get("threads") {
             None => vec![1],
@@ -640,6 +777,7 @@ impl SweepSpec {
             betas,
             epsilons,
             faults,
+            churns,
             engines,
             threads,
             service_sources,
@@ -653,6 +791,7 @@ impl SweepSpec {
             * self.betas.len()
             * self.epsilons.len()
             * self.faults.len()
+            * self.churns.len()
             * self.engines.len()
             * self.threads.len()
     }
@@ -841,6 +980,83 @@ mod tests {
         let w = GraphSpec::Barbell { beta: 4, k: 8 }.build();
         assert_eq!(w.name, "barbell(beta=4,k=8)");
         assert_eq!(w.graph.n(), 32);
+    }
+
+    #[test]
+    fn parses_churn_dimension_and_multiplies_cells() {
+        let s = SweepSpec::parse(
+            r#"{"tag": "c", "graphs": [{"family": "clique_ring", "beta": 4, "k": 8}],
+                "betas": [4], "epsilons": [0.1],
+                "engines": ["service_cold", "service_warm"],
+                "churn": ["none", {"kind": "swap", "batches": 3, "seed": 23}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            s.churns,
+            [ChurnSpec::None, ChurnSpec::Swap { batches: 3, seed: 23 }]
+        );
+        assert_eq!(s.churns[0].label(), "none");
+        assert_eq!(s.churns[1].label(), "swap(batches=3,seed=23)");
+        // graphs × weightings × betas × epsilons × faults × churns × engines × threads
+        assert_eq!(s.cell_count(), 2 * 2);
+    }
+
+    #[test]
+    fn churn_schedule_is_deterministic_and_degree_preserving() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let spec = ChurnSpec::Swap { batches: 3, seed: 23 };
+        let schedule = spec.schedule(&g);
+        assert_eq!(schedule, spec.schedule(&g), "same spec, same schedule");
+        assert!(!schedule.is_empty(), "clique-ring has room for 2-swaps");
+        let mut cg = ChurnGraph::new(g.clone());
+        for batch in &schedule {
+            assert_eq!(batch.len(), 4, "one 2-swap = 2 deletes + 2 inserts");
+            cg.apply(batch).expect("scheduled batches are valid in order");
+        }
+        let after = cg.topology();
+        assert_eq!(after.m(), g.m());
+        for v in 0..g.n() {
+            assert_eq!(after.degree(v), g.degree(v), "2-swaps preserve degrees");
+        }
+        assert_eq!(ChurnSpec::None.schedule(&g), Vec::<Vec<EdgeEdit>>::new());
+    }
+
+    #[test]
+    fn rejects_churn_misuse() {
+        const SWAP: &str = r#"{"kind":"swap","batches":2,"seed":7}"#;
+        for (bad, needle) in [
+            // Non-trivial churn demands service engines…
+            (format!(
+                r#"{{"tag":"t","graphs":[{{"family":"complete","n":8}}],"betas":[2],"epsilons":[0.1],
+                     "churn":[{SWAP}],"engines":["engine"]}}"#
+            ), "apply_churn hook"),
+            (format!(
+                r#"{{"tag":"t","graphs":[{{"family":"complete","n":8}}],"betas":[2],"epsilons":[0.1],
+                     "churn":[{SWAP}],"engines":["service_warm","dense"]}}"#
+            ), "apply_churn hook"),
+            // … and unit weighting.
+            (format!(
+                r#"{{"tag":"t","graphs":[{{"family":"complete","n":8}}],"betas":[2],"epsilons":[0.1],
+                     "weightings":[{{"kind":"uniform","w":2}}],
+                     "churn":[{SWAP}],"engines":["service_warm"]}}"#
+            ), "ChurnGraph"),
+            // Degenerate churn is spelled "none", not 0 batches.
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "churn":[{"kind":"swap","batches":0,"seed":7}],"engines":["service_warm"]}"#
+                .into(), "≥ 1"),
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "churn":[{"kind":"swap","batches":1,"seed":7,"x":2}],"engines":["service_warm"]}"#
+                .into(), "\"x\""),
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "churn":[{"kind":"flap","batches":1,"seed":7}],"engines":["service_warm"]}"#
+                .into(), "swap"),
+            (r#"{"tag":"t","graphs":[{"family":"complete","n":8}],"betas":[2],"epsilons":[0.1],
+                 "churn":["all"],"engines":["service_warm"]}"#
+                .into(), "shorthand"),
+        ] {
+            let e = SweepSpec::parse(&bad).unwrap_err();
+            assert!(e.contains(needle), "{bad} -> {e}");
+        }
     }
 
     #[test]

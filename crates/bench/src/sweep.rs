@@ -26,13 +26,20 @@
 //! bit-equal to a cold run's before timing, so both cells record the same
 //! τ column (max over the sampled sources) and the diff gate sees
 //! cache-correctness regressions as τ mismatches.
+//!
+//! Churned service cells (a non-`"none"` churn dimension value) warm the
+//! service, land the spec's seeded edit schedule through
+//! [`TauService::apply_churn`], and record the **post-churn** batch — after
+//! asserting every post-churn answer bit-identical to a fresh oracle on
+//! the post-churn topology. Churn-free cells keep the pre-churn-dimension
+//! scenario keys (no `|churn=` segment), so existing goldens still match.
 
 use lmt_gossip::apps::{
     elect_leader, elect_leader_faulty, rounds_to_full_spread, rounds_to_full_spread_faulty,
 };
 use lmt_gossip::GossipMode;
 use lmt_graph::props::bipartition;
-use lmt_graph::{Graph, WalkGraph};
+use lmt_graph::{ChurnGraph, EdgeEdit, Graph, WalkGraph};
 use lmt_service::{ServiceConfig, TauAnswer, TauQuery, TauService};
 use lmt_walks::local::{FlatPolicy, LocalMixOptions, SizeGrid};
 use lmt_walks::WalkKind;
@@ -153,6 +160,113 @@ fn service_cell<G: WalkGraph + Clone>(
     (tau, timing)
 }
 
+/// Run one **churned** service cell: warm a [`TauService`] over a
+/// [`ChurnGraph`], drive the cell's edit schedule through
+/// [`TauService::apply_churn`], and re-answer the same batch on the churned
+/// topology. Before anything is timed, every post-churn answer is asserted
+/// bit-identical (τ, witness set, witness L1) to a fresh oracle run on the
+/// post-churn topology — the record's τ column doubles as a correctness
+/// net for support-aware cache invalidation, exactly like the dense
+/// cross-check does for the engine.
+///
+/// Cold times the whole episode per rep (fresh service, warm-up batch,
+/// churn, post-churn batch); warm times post-churn replays of the
+/// already-churned service, so the cold/warm gap shows what the surviving
+/// cache is worth after churn.
+fn churned_service_cell(
+    g: &Graph,
+    engine: EngineChoice,
+    opts: &LocalMixOptions,
+    sources: usize,
+    reps: usize,
+    schedule: &[Vec<EdgeEdit>],
+) -> (Option<u64>, Vec<f64>) {
+    let n = g.n();
+    let q = sources.min(n);
+    let queries: Vec<TauQuery> = (0..q)
+        .map(|i| TauQuery {
+            source: i * n / q,
+            beta: opts.beta,
+            eps: opts.eps,
+        })
+        .collect();
+    let config = ServiceConfig {
+        kind: opts.kind,
+        max_t: opts.max_t,
+        grid: opts.grid,
+        flat_policy: opts.flat_policy,
+        ..ServiceConfig::default()
+    };
+    // One churn episode: warm on the base topology, land every edit batch,
+    // re-answer the same queries on the churned topology.
+    let episode = || {
+        let service = TauService::with_config(ChurnGraph::new(g.clone()), config);
+        service.submit_batch(&queries);
+        for batch in schedule {
+            service
+                .apply_churn(batch)
+                .expect("scheduled batches are valid in application order");
+        }
+        let post = service.submit_batch(&queries);
+        (service, post)
+    };
+    let (service, post) = episode();
+
+    // Differential net: an independent mirror of the schedule yields the
+    // post-churn topology; every answer the churned service just gave must
+    // be bit-identical to a fresh oracle run on it.
+    let mut mirror = ChurnGraph::new(g.clone());
+    for batch in schedule {
+        mirror
+            .apply(batch)
+            .expect("mirror replays the exact batches the service accepted");
+    }
+    let post_topology = mirror.topology().clone();
+    for a in &post {
+        let fresh = lmt_walks::local::local_mixing_time(&post_topology, a.query.source, opts);
+        match (&a.result, &fresh) {
+            (Ok(got), Ok(want)) => {
+                assert_eq!(
+                    got.tau, want.tau,
+                    "churned service τ diverged from the post-churn oracle (src {})",
+                    a.query.source
+                );
+                assert_eq!(
+                    got.witness.nodes, want.witness.nodes,
+                    "churned service witness set diverged (src {})",
+                    a.query.source
+                );
+                assert_eq!(
+                    got.witness.l1.to_bits(),
+                    want.witness.l1.to_bits(),
+                    "churned service witness L1 diverged (src {})",
+                    a.query.source
+                );
+            }
+            (Err(e), Err(w)) => assert_eq!(e, w, "churned service error diverged"),
+            _ => panic!(
+                "churned service verdict diverged from the post-churn oracle (src {})",
+                a.query.source
+            ),
+        }
+    }
+
+    let tau = service_taus(&post);
+    let timing = match engine {
+        EngineChoice::ServiceCold => timing::time_reps_ms(reps, || {
+            episode();
+        }),
+        EngineChoice::ServiceWarm => {
+            assert_service_replay(&service.submit_batch(&queries), &post, "churned replay");
+            timing::time_reps_ms(reps, || {
+                service.submit_batch(&queries);
+            })
+        }
+        _ => unreachable!("churned_service_cell called for a non-service engine"),
+    };
+    (tau, timing)
+}
+
 /// Completion rounds of an application cell (`None` = cap exhausted).
 fn app_rounds(engine: EngineChoice, g: &Graph, fault: &FaultSpec, cap: u64) -> Option<u64> {
     let seed = fault.seed();
@@ -197,8 +311,22 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                     // the paper's loose flat treatment (as `oracle_tau`).
                     opts.flat_policy = FlatPolicy::AssumeFlat;
 
-                    for fault in &spec.faults {
+                    // faults × churns, flattened: churn is one more spec
+                    // dimension, ordered inside the fault dimension.
+                    let fault_churn = spec
+                        .faults
+                        .iter()
+                        .flat_map(|f| spec.churns.iter().map(move |c| (f, c)));
+                    for (fault, churn) in fault_churn {
+                        // Materialized once per (graph, churn): every
+                        // engine × width cell replays the same batches.
+                        let schedule = churn.schedule(&workload.graph);
                         for &engine in &spec.engines {
+                            assert!(
+                                schedule.is_empty() || engine.is_service(),
+                                "non-trivial churn reached a non-service engine — \
+                                 the spec parser should have rejected this"
+                            );
                             for &width in &spec.threads {
                                 let _pin = ThreadsGuard::pin(width);
                                 let (tau, timing) = if engine.is_app() {
@@ -215,21 +343,37 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                                     }));
                                     (tau, timing)
                                 } else if engine.is_service() {
-                                    let (tau, timing) = match &g {
-                                        AnyGraph::Unweighted(g) => service_cell(
-                                            g,
+                                    let (tau, timing) = if !schedule.is_empty() {
+                                        let AnyGraph::Unweighted(base) = &g else {
+                                            unreachable!(
+                                                "spec parse enforces unit weighting for churn"
+                                            )
+                                        };
+                                        churned_service_cell(
+                                            base,
                                             engine,
                                             &opts,
                                             spec.service_sources,
                                             spec.reps,
-                                        ),
-                                        AnyGraph::Weighted(g) => service_cell(
-                                            g,
-                                            engine,
-                                            &opts,
-                                            spec.service_sources,
-                                            spec.reps,
-                                        ),
+                                            &schedule,
+                                        )
+                                    } else {
+                                        match &g {
+                                            AnyGraph::Unweighted(g) => service_cell(
+                                                g,
+                                                engine,
+                                                &opts,
+                                                spec.service_sources,
+                                                spec.reps,
+                                            ),
+                                            AnyGraph::Weighted(g) => service_cell(
+                                                g,
+                                                engine,
+                                                &opts,
+                                                spec.service_sources,
+                                                spec.reps,
+                                            ),
+                                        }
                                     };
                                     (tau, Some(timing))
                                 } else {
@@ -273,9 +417,17 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                                 } else {
                                     format!("|fault={fault_label}")
                                 };
+                                let churn_label = churn.label();
+                                // Churn-free keys likewise stay in the
+                                // pre-churn format.
+                                let churn_key = if churn_label == "none" {
+                                    String::new()
+                                } else {
+                                    format!("|churn={churn_label}")
+                                };
                                 record.cells.push(Cell {
                                     scenario: format!(
-                                        "g={}|w={}|beta={beta}|eps={eps}|engine={}{fault_key}|threads={width}",
+                                        "g={}|w={}|beta={beta}|eps={eps}|engine={}{fault_key}{churn_key}|threads={width}",
                                         workload.name,
                                         weighting.label(),
                                         engine.label(),
@@ -286,6 +438,7 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
                                     eps,
                                     engine: engine.label().to_string(),
                                     fault: fault_label,
+                                    churn: churn_label,
                                     threads: width,
                                     tau,
                                     mem_bytes: Some(g.memory_bytes()),
@@ -306,7 +459,7 @@ pub fn run_sweep(spec: &SweepSpec) -> BenchRecord {
 pub fn render_table(record: &BenchRecord) -> String {
     let mut t = lmt_util::table::Table::new(
         format!("sweep {} ({} cells)", record.tag, record.cells.len()),
-        &["graph", "w", "β", "ε", "engine", "fault", "thr", "τ", "mem MiB", "median ms", "min..max"],
+        &["graph", "w", "β", "ε", "engine", "fault", "churn", "thr", "τ", "mem MiB", "median ms", "min..max"],
     );
     for c in &record.cells {
         t.row(&[
@@ -316,6 +469,7 @@ pub fn render_table(record: &BenchRecord) -> String {
             format!("{:.4}", c.eps),
             c.engine.clone(),
             c.fault.clone(),
+            c.churn.clone(),
             c.threads.to_string(),
             crate::fmt_opt(c.tau),
             c.mem_bytes
@@ -332,7 +486,7 @@ pub fn render_table(record: &BenchRecord) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{GraphSpec, Weighting};
+    use crate::spec::{ChurnSpec, GraphSpec, Weighting};
 
     fn tiny_spec() -> SweepSpec {
         SweepSpec {
@@ -347,6 +501,7 @@ mod tests {
             betas: vec![4.0],
             epsilons: vec![crate::EPS],
             faults: vec![FaultSpec::None],
+            churns: vec![ChurnSpec::None],
             engines: vec![EngineChoice::Engine, EngineChoice::Dense],
             threads: vec![1],
             service_sources: 16,
@@ -417,6 +572,7 @@ mod tests {
                 FaultSpec::Drop { p: 0.3, seed: 7 },
                 FaultSpec::Crash { count: 2, round: 1, seed: 7 },
             ],
+            churns: vec![ChurnSpec::None],
             engines: vec![EngineChoice::Elect, EngineChoice::Spread],
             threads: vec![1],
             service_sources: 16,
@@ -452,6 +608,7 @@ mod tests {
             betas: vec![4.0],
             epsilons: vec![crate::EPS],
             faults: vec![FaultSpec::None],
+            churns: vec![ChurnSpec::None],
             engines: vec![EngineChoice::ServiceCold, EngineChoice::ServiceWarm],
             threads: vec![1],
             service_sources: 5,
@@ -471,6 +628,52 @@ mod tests {
         }
         // Weighted uniform service cells agree with the unweighted twins.
         assert_eq!(record.cells[0].tau, record.cells[2].tau);
+    }
+
+    #[test]
+    fn churned_service_cells_survive_the_oracle_net() {
+        let spec = SweepSpec {
+            tag: "churn-e2e".into(),
+            reps: 1,
+            max_t: 20_000,
+            graphs: vec![GraphSpec::CliqueRing { beta: 4, k: 8 }],
+            weightings: vec![Weighting::Unit],
+            betas: vec![4.0],
+            epsilons: vec![crate::EPS],
+            faults: vec![FaultSpec::None],
+            churns: vec![ChurnSpec::None, ChurnSpec::Swap { batches: 2, seed: 23 }],
+            engines: vec![EngineChoice::ServiceCold, EngineChoice::ServiceWarm],
+            threads: vec![1],
+            service_sources: 4,
+        };
+        let record = run_sweep(&spec);
+        assert_eq!(record.cells.len(), spec.cell_count());
+        // Cells in spec order: churn inside faults, engines inside churn.
+        let (static_pair, churned_pair) = record.cells.split_at(2);
+        for cell in static_pair {
+            assert_eq!(cell.churn, "none");
+            assert!(!cell.scenario.contains("churn="), "{}", cell.scenario);
+        }
+        for cell in churned_pair {
+            assert_eq!(cell.churn, "swap(batches=2,seed=23)");
+            assert!(
+                cell.scenario
+                    .contains("|churn=swap(batches=2,seed=23)|threads=1"),
+                "{}",
+                cell.scenario
+            );
+            // run_sweep already asserted every post-churn answer against a
+            // fresh oracle on the post-churn topology; the cell records
+            // that batch's τ.
+            assert!(cell.tau.is_some(), "{}", cell.scenario);
+            assert!(cell.timing.is_some(), "{}", cell.scenario);
+        }
+        // Cold and warm churned cells answer the same post-churn batch.
+        assert_eq!(churned_pair[0].tau, churned_pair[1].tau);
+        // The whole sweep is deterministic: same spec, same τ column.
+        let again = run_sweep(&spec);
+        let taus = |r: &BenchRecord| r.cells.iter().map(|c| c.tau).collect::<Vec<_>>();
+        assert_eq!(taus(&record), taus(&again));
     }
 
     #[test]
@@ -497,6 +700,7 @@ mod tests {
             betas: vec![2.0],
             epsilons: vec![0.001],
             faults: vec![FaultSpec::None],
+            churns: vec![ChurnSpec::None],
             engines: vec![EngineChoice::Engine, EngineChoice::Dense],
             threads: vec![1],
             service_sources: 16,

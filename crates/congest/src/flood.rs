@@ -356,6 +356,26 @@ impl FloodGraph for WeightedGraph {
     }
 }
 
+impl FloodGraph for lmt_graph::ChurnGraph {
+    /// The flood over a churning overlay runs on the **current** merged
+    /// topology: each call floods the post-edit graph, exactly as if a
+    /// static CSR of that topology had been handed in. At zero churn this
+    /// is bit-identical — weights, scale, metrics — to
+    /// [`FloodGraph::estimate_flood`] on the base [`Graph`].
+    fn estimate_flood(
+        &self,
+        src: usize,
+        ell: u64,
+        c: u32,
+        kind: WalkKind,
+        budget_bits: u32,
+        engine: EngineKind,
+        seed: u64,
+    ) -> Result<(Vec<FixedQ>, FixedScale, Metrics), RunError> {
+        estimate_rw_probability_kind(self.topology(), src, ell, c, kind, budget_bits, engine, seed)
+    }
+}
+
 /// An Algorithm 1 flood that advances one step at a time.
 ///
 /// The exact algorithm of §3.2 interleaves one walk step with a full
@@ -624,6 +644,58 @@ mod tests {
             .unwrap();
         assert_eq!(a, b);
         assert_eq!(ma, mb);
+    }
+
+    #[test]
+    fn churn_graph_flood_zero_churn_is_bit_identical() {
+        use super::FloodGraph;
+        let (g, _) = gen::barbell(3, 5);
+        let cg = lmt_graph::ChurnGraph::new(g.clone());
+        for ell in [0u64, 1, 7, 40] {
+            let (a, sa, ma) = g
+                .estimate_flood(
+                    2, ell, 6, lmt_walks::WalkKind::Simple, budget(g.n()),
+                    EngineKind::Sequential, 11,
+                )
+                .unwrap();
+            let (b, sb, mb) = cg
+                .estimate_flood(
+                    2, ell, 6, lmt_walks::WalkKind::Simple, budget(g.n()),
+                    EngineKind::Sequential, 11,
+                )
+                .unwrap();
+            assert_eq!(a, b, "ell={ell}");
+            assert_eq!(sa.denominator(), sb.denominator());
+            assert_eq!(ma, mb, "ell={ell}");
+        }
+    }
+
+    #[test]
+    fn churn_graph_flood_tracks_edits() {
+        use super::FloodGraph;
+        use lmt_graph::EdgeEdit;
+        // After an edit, the churn flood equals a fresh flood on a static
+        // graph of the post-edit topology (uncompacted and compacted).
+        let g = gen::grid(4, 4);
+        let mut cg = lmt_graph::ChurnGraph::new(g.clone());
+        cg.apply(&[EdgeEdit::delete(0, 1), EdgeEdit::insert(0, 5)]).unwrap();
+        let mut b = lmt_graph::GraphBuilder::new(g.n());
+        b.extend_edges(cg.topology().edges());
+        let fresh = b.build();
+        let run = |fg: &dyn FloodGraph| {
+            fg.estimate_flood(
+                3, 9, 6, lmt_walks::WalkKind::Simple, budget(g.n()),
+                EngineKind::Sequential, 4,
+            )
+            .unwrap()
+        };
+        let (want, _, mw) = run(&fresh);
+        let (got, _, mg) = run(&cg);
+        assert_eq!(got, want);
+        assert_eq!(mg, mw);
+        cg.compact();
+        let (compacted, _, _) = run(&cg);
+        assert_eq!(compacted, want);
     }
 
     #[test]

@@ -8,6 +8,17 @@
 //! invariant to batch splits (see the crate docs), so a job's answers are
 //! identical whether it ran alone or merged with others —
 //! `tests/determinism.rs` pins multi-producer ≡ single-threaded.
+//!
+//! The loop is panic-isolated: a poison job (one whose query fails
+//! validation, which panics by contract) cannot take down the worker or
+//! its batchmates. The merged batch runs under `catch_unwind`; on a panic
+//! the worker retries each job alone, answers the good ones identically
+//! (batch-split invariance again), and drops the poison job's reply
+//! channel so that submitter — and only that submitter — fails loudly.
+//! Shutdown drains: jobs already queued when [`ServiceWorker::shutdown`]
+//! is called are still answered, and a submitter that dropped its reply
+//! receiver (or its whole [`ServiceClient`]) mid-flight never deadlocks
+//! the loop.
 
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
@@ -58,8 +69,9 @@ impl ServiceClient {
     /// [`submit`](Self::submit) and block for the answers.
     ///
     /// # Panics
-    /// Panics if the worker has shut down or dies mid-job (e.g. a query
-    /// failed validation, which panics the worker thread).
+    /// Panics if the worker has shut down, or if this job contained an
+    /// invalid query — the worker stays alive and drops the reply channel
+    /// instead of answering (see the module docs on panic isolation).
     pub fn submit_wait(&self, queries: Vec<TauQuery>) -> Vec<TauAnswer> {
         self.submit(queries)
             .recv()
@@ -106,12 +118,37 @@ impl<G: WalkGraph + Send + 'static> ServiceWorker<G> {
                 .iter()
                 .flat_map(|j| j.queries.iter().copied())
                 .collect();
-            let mut answers = svc.submit_batch(&merged).into_iter();
-            for job in jobs {
-                let take = job.queries.len();
-                let slice: Vec<TauAnswer> = answers.by_ref().take(take).collect();
-                // A submitter that stopped listening is not an error.
-                let _ = job.reply.send(slice);
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                svc.submit_batch(&merged)
+            }));
+            match run {
+                Ok(answers) => {
+                    let mut answers = answers.into_iter();
+                    for job in jobs {
+                        let take = job.queries.len();
+                        let slice: Vec<TauAnswer> = answers.by_ref().take(take).collect();
+                        // A submitter that stopped listening is not an error.
+                        let _ = job.reply.send(slice);
+                    }
+                }
+                Err(_) => {
+                    // A poison job (invalid query) panicked the merged
+                    // batch. The service itself survives (validation runs
+                    // before any state mutation — see `submit_batch`), so
+                    // isolate the poison: retry each job alone, answer the
+                    // good ones, and drop the bad job's reply sender so its
+                    // submitter fails loudly instead of hanging. Per-job
+                    // retries return the same answers the merged batch
+                    // would have (submit_batch is batch-split invariant).
+                    for job in jobs {
+                        let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            svc.submit_batch(&job.queries)
+                        }));
+                        if let Ok(answers) = one {
+                            let _ = job.reply.send(answers);
+                        }
+                    }
+                }
             }
             if shutdown_after {
                 return;
@@ -215,6 +252,86 @@ mod tests {
         // Every producer's query hit the same shared cache.
         assert_eq!(service.stats().queries, 4);
         worker.shutdown();
+    }
+
+    #[test]
+    fn bad_query_does_not_brick_the_worker() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let service = Arc::new(TauService::new(g.clone()));
+        let worker = ServiceWorker::spawn(Arc::clone(&service));
+        let client = worker.client();
+        let good = TauQuery {
+            source: 5,
+            beta: 4.0,
+            eps: 0.05,
+        };
+
+        // The poison job fails loudly for ITS submitter only…
+        let poison = TauQuery {
+            source: 0,
+            beta: 0.5, // β < 1: validation panics by contract
+            eps: 0.1,
+        };
+        let c2 = client.clone();
+        let unwound =
+            std::panic::catch_unwind(move || c2.submit_wait(vec![poison]));
+        assert!(unwound.is_err(), "poison job must fail loudly");
+
+        // …while the worker keeps serving: same thread, same channel.
+        let answers = client.submit_wait(vec![good]);
+        let want = local_mixing_time(&g, good.source, &service.config().opts(&good)).unwrap();
+        assert_eq!(answers[0].result.as_ref().unwrap().tau, want.tau);
+        // And shutdown joins cleanly — the panic never reached the thread.
+        worker.shutdown();
+    }
+
+    #[test]
+    fn drain_on_shutdown_answers_queued_jobs() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let service = Arc::new(TauService::new(g.clone()));
+        let worker = ServiceWorker::spawn(Arc::clone(&service));
+        let client = worker.client();
+        // Channel delivery is FIFO, so every job sent before the shutdown
+        // message is dequeued (and must be answered) before the loop exits.
+        let queries: Vec<TauQuery> = (0..8)
+            .map(|s| TauQuery {
+                source: s * 3,
+                beta: 4.0,
+                eps: 0.05,
+            })
+            .collect();
+        let receivers: Vec<_> = queries.iter().map(|&q| client.submit(vec![q])).collect();
+        worker.shutdown(); // blocks until the thread exits
+        for (q, rx) in queries.iter().zip(receivers) {
+            let answers = rx.recv().expect("queued job lost at shutdown");
+            let want = local_mixing_time(&g, q.source, &service.config().opts(q)).unwrap();
+            assert_eq!(answers[0].result.as_ref().unwrap().tau, want.tau);
+        }
+    }
+
+    #[test]
+    fn client_dropped_mid_batch_does_not_deadlock() {
+        let (g, _) = gen::ring_of_cliques_regular(4, 8);
+        let service = Arc::new(TauService::new(g.clone()));
+        let worker = ServiceWorker::spawn(Arc::clone(&service));
+        let q = TauQuery {
+            source: 5,
+            beta: 4.0,
+            eps: 0.05,
+        };
+        {
+            // Submit, then walk away: drop the reply receiver AND the
+            // client before the worker can answer.
+            let client = worker.client();
+            let rx = client.submit(vec![q]);
+            drop(rx);
+            drop(client);
+        }
+        // The worker must shrug that off and keep serving fresh clients.
+        let answers = worker.client().submit_wait(vec![q]);
+        let want = local_mixing_time(&g, q.source, &service.config().opts(&q)).unwrap();
+        assert_eq!(answers[0].result.as_ref().unwrap().tau, want.tau);
+        worker.shutdown(); // and shutdown must not hang on the dead reply
     }
 
     #[test]

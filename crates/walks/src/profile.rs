@@ -25,6 +25,7 @@
 //! footprint so long-lived caches can account for it.
 
 use crate::local::{Witness, WitnessScratch};
+use lmt_util::BitSet;
 
 /// One recorded step: the `(value, id)`-sorted view of `p_t`.
 struct Snapshot {
@@ -35,11 +36,27 @@ struct Snapshot {
 }
 
 /// The recorded profile curve of one source: sorted snapshots of
-/// `p_0 ..= p_T` plus `p_T` itself for resumption (see the module docs).
-#[derive(Default)]
+/// `p_0 ..= p_T` plus `p_T` itself for resumption (see the module docs),
+/// together with the curve's **exact cumulative support**
+/// `∪_{t ≤ T} supp(p_t)` — the set of nodes that ever carried mass.
+///
+/// The support is exact, not an over-approximation: walk masses are
+/// non-negative and evolve by adds and divides only, so a nonzero entry of
+/// any recorded `p_t` is real mass (no cancellation can fake a zero). It is
+/// the basis of the service layer's support-aware churn invalidation — a
+/// curve whose support never touches an edited endpoint is provably
+/// unchanged on the post-churn graph (every inflow term it ever summed had
+/// an unedited row and degree; all other terms were `+0.0`).
 pub struct SourceCurve {
     steps: Vec<Snapshot>,
     cur: Vec<f64>,
+    support: BitSet,
+}
+
+impl Default for SourceCurve {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl SourceCurve {
@@ -48,12 +65,14 @@ impl SourceCurve {
         SourceCurve {
             steps: Vec::new(),
             cur: Vec::new(),
+            support: BitSet::new(0),
         }
     }
 
     /// Record the next step's distribution (step `t = recorded()` before the
     /// call): snapshots the sorted view via [`WitnessScratch::load`] and
-    /// retains `p` as the new resume distribution.
+    /// retains `p` as the new resume distribution. Nonzero entries join the
+    /// cumulative support.
     pub fn record(&mut self, p: &[f64], scratch: &mut WitnessScratch) {
         scratch.load(p);
         self.steps.push(Snapshot {
@@ -62,6 +81,16 @@ impl SourceCurve {
         });
         self.cur.clear();
         self.cur.extend_from_slice(p);
+        if self.support.capacity() != p.len() {
+            // First record (or a caller switching node counts, which resets
+            // the accumulated support along with it).
+            self.support = BitSet::new(p.len());
+        }
+        for (v, &pv) in p.iter().enumerate() {
+            if pv != 0.0 {
+                self.support.insert(v);
+            }
+        }
     }
 
     /// Number of recorded steps; the curve covers `t = 0 .. recorded()`.
@@ -108,15 +137,31 @@ impl SourceCurve {
             .find_map(|t| self.witness_at(t, sizes, eps, src, scratch).map(|w| (t, w)))
     }
 
-    /// Approximate heap footprint of the recorded snapshots and resume
-    /// distribution, in bytes.
+    /// True iff `v` ever carried mass in a recorded step — membership in
+    /// the exact cumulative support `∪_{t ≤ recorded} supp(p_t)`.
+    pub fn support_contains(&self, v: usize) -> bool {
+        self.support.contains(v)
+    }
+
+    /// Size of the cumulative support (0 for an empty curve).
+    pub fn support_len(&self) -> usize {
+        self.support.len()
+    }
+
+    /// The cumulative support as a bitset (capacity `n` once recorded).
+    pub fn support(&self) -> &BitSet {
+        &self.support
+    }
+
+    /// Approximate heap footprint of the recorded snapshots, resume
+    /// distribution, and support bitset, in bytes.
     pub fn snapshot_bytes(&self) -> usize {
         let per_step: usize = self
             .steps
             .iter()
             .map(|s| s.ids.len() * 4 + s.vals.len() * 8)
             .sum();
-        per_step + self.cur.len() * 8
+        per_step + self.cur.len() * 8 + self.support.capacity().div_ceil(8)
     }
 }
 
@@ -185,6 +230,32 @@ mod tests {
         }
         assert_eq!(curve.resume_dist(), ev.current());
         assert!(curve.snapshot_bytes() >= 5 * 12 * g.n());
+    }
+
+    #[test]
+    fn support_is_the_exact_cumulative_nonzero_set() {
+        // On a path from an endpoint, mass reaches node v first at step v:
+        // the cumulative support after T steps is exactly {0, …, T}.
+        let g = gen::path(12);
+        let mut curve = SourceCurve::new();
+        let mut scratch = WitnessScratch::new(g.n());
+        let mut ev = Evolution::from_point(&g, 0, WalkKind::Simple);
+        for t in 0..6 {
+            curve.record(ev.current(), &mut scratch);
+            assert_eq!(curve.support_len(), t + 1, "support after step {t}");
+            for v in 0..g.n() {
+                assert_eq!(curve.support_contains(v), v <= t, "node {v} at step {t}");
+            }
+            ev.step();
+        }
+        assert_eq!(curve.support().iter().collect::<Vec<_>>(), (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_curve_has_empty_support() {
+        let curve = SourceCurve::new();
+        assert_eq!(curve.support_len(), 0);
+        assert!(!curve.support_contains(0));
     }
 
     #[test]

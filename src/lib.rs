@@ -5,14 +5,16 @@
 //! [`prelude`] re-exports the API surface the examples and integration tests
 //! use; the implementation lives in the workspace crates:
 //!
-//! * `lmt-graph` — CSR graphs, generators (β-barbell & co.), properties
+//! * `lmt-graph` — CSR graphs (static and churning), generators (β-barbell
+//!   & co.), properties
 //! * `lmt-walks` — walk distributions, mixing times, the τ_s(β,ε) oracle
 //! * `lmt-spectral` — λ₂, Cheeger checks, sweep cuts, weak conductance
 //! * `lmt-congest` — the CONGEST simulator and protocol primitives
 //! * `lmt-core` — Algorithms 1–2, the exact variant, baselines
 //! * `lmt-gossip` — push–pull, partial information spreading, applications
 //! * `lmt-service` — τ-as-a-service: batched, cached query layer over the
-//!   evolution engine, bit-identical to the oracle
+//!   evolution engine, bit-identical to the oracle, with support-aware
+//!   cache invalidation under churn
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,11 +34,12 @@ pub mod prelude {
     pub use lmt_gossip::coverage::{coverage_stats, is_beta_spread, rounds_to_beta_spread};
     pub use lmt_gossip::{Gossip, GossipMode};
     pub use lmt_graph::{
-        cuts, gen, props, Graph, GraphBuilder, WalkGraph, WeightedGraph, WeightedGraphBuilder,
+        cuts, gen, props, Churnable, ChurnError, ChurnGraph, EdgeEdit, Graph, GraphBuilder,
+        WalkGraph, WeightedGraph, WeightedGraphBuilder,
     };
     pub use lmt_service::{
-        ServiceClient, ServiceConfig, ServiceStats, ServiceWorker, TauAnswer, TauQuery,
-        TauService,
+        ChurnOutcome, ServiceClient, ServiceConfig, ServiceStats, ServiceWorker, TauAnswer,
+        TauQuery, TauService,
     };
     pub use lmt_walks::engine::{evolve_block, BlockEvolution, Evolution};
     pub use lmt_walks::local::{

@@ -279,3 +279,191 @@ fn capped_queries_match_oracle_and_stay_cached() {
     let loose = TauQuery { source: 2, beta: 1.0, eps: 0.9 };
     assert_matches_oracle(&g, &cfg, &service.submit_batch(&[loose]));
 }
+
+// ---------------------------------------------------------------------------
+// Churn (PR 10): the differential harness for support-aware invalidation.
+// After `apply_churn`, every answer the service produces — replayed from a
+// retained curve, recomputed for a dropped one, or cold — must be
+// bit-identical to a fresh oracle call on the post-churn topology. A local
+// mirror `ChurnGraph` replays the same edits to produce that topology.
+// ---------------------------------------------------------------------------
+
+/// xorshift64* — deterministic edit schedules with replayable failures.
+struct Xs(u64);
+
+impl Xs {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// One random degree-preserving 2-swap on `g` (delete `(a,b)`, `(c,d)`;
+/// insert `(a,c)`, `(b,d)`), so regular graphs stay regular and the service
+/// keeps answering rather than returning `NotRegular`.
+fn draw_swap(g: &Graph, rng: &mut Xs) -> Option<[EdgeEdit; 4]> {
+    let edges: Vec<(usize, usize)> = g.edges().collect();
+    for _ in 0..64 {
+        let (a, b) = edges[rng.below(edges.len())];
+        let (c, d) = edges[rng.below(edges.len())];
+        if a != c && a != d && b != c && b != d && !g.has_edge(a, c) && !g.has_edge(b, d) {
+            return Some([
+                EdgeEdit::delete(a, b),
+                EdgeEdit::delete(c, d),
+                EdgeEdit::insert(a, c),
+                EdgeEdit::insert(b, d),
+            ]);
+        }
+    }
+    None
+}
+
+/// BFS hop distances from `src` (usize::MAX for unreachable).
+fn bfs_dist(g: &Graph, src: usize) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.n()];
+    dist[src] = 0;
+    let mut queue = std::collections::VecDeque::from([src]);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+proptest! {
+    // Each case warms a service, churns it twice, and re-oracles every
+    // query on the post-churn graph; keep cases low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Post-churn bit-identity, differentially: warm cache → seeded edit
+    /// batches through `apply_churn` → every answer (retained replay,
+    /// dropped recompute, cold source) equals a fresh oracle on the
+    /// post-churn topology.
+    #[test]
+    fn churned_service_equals_fresh_oracle_on_post_churn_graph(
+        (n, d, seed) in (5usize..16, 1usize..3, any::<u64>())
+            .prop_map(|(h, hd, s)| (2 * h, 2 * hd, s)),
+        picks in proptest::collection::vec(
+            (0usize..64, 0usize..3, 0usize..3), 1..5),
+        churn_seed in any::<u64>(),
+    ) {
+        let g = gen::random_regular(n, d, seed);
+        prop_assume!(props::is_connected(&g));
+        let queries = make_queries(n, &picks);
+        let service = TauService::with_config(ChurnGraph::new(g.clone()), test_cfg());
+        let cfg = *service.config();
+
+        // Warm the cache on the pre-churn graph.
+        let _ = service.submit_batch(&queries);
+        let sources_cached = service.cached_sources();
+
+        // Seeded swap batches, mirrored locally so the test can build the
+        // post-churn reference topology without peeking at service state.
+        let mut mirror = ChurnGraph::new(g.clone());
+        let mut rng = Xs(churn_seed | 1);
+        for _ in 0..2 {
+            if let Some(edits) = draw_swap(mirror.topology(), &mut rng) {
+                let outcome = service.apply_churn(&edits).unwrap();
+                mirror.apply(&edits).unwrap();
+                prop_assert!(outcome.retained + outcome.dropped <= sources_cached);
+            }
+        }
+        let post = mirror.topology().clone();
+
+        // Retained + dropped + a cold source, all in one batch: every
+        // answer must be a fresh post-churn oracle answer, to the bit.
+        let mut all = queries.clone();
+        all.push(TauQuery { source: n / 2, beta: 4.0, eps: 0.05 });
+        let answers = service.submit_batch(&all);
+        assert_matches_oracle(&post, &cfg, &answers);
+    }
+}
+
+/// The headline churn scenario, deterministically: a curve whose support a
+/// distant edit batch provably cannot touch **survives** `apply_churn`
+/// (strictly positive retained count, visible in [`ServiceStats`]), answers
+/// by replay (no new evolution), and still matches a fresh oracle on the
+/// post-churn graph; an edit at the source then drops it and forces a
+/// recompute that also matches.
+#[test]
+fn churn_retains_distant_curves_and_recomputes_touched_ones() {
+    let (g0, _) = gen::ring_of_cliques_regular(8, 8);
+    let service = TauService::with_config(ChurnGraph::new(g0.clone()), test_cfg());
+    let cfg = *service.config();
+    let q = TauQuery { source: 0, beta: 8.0, eps: 0.3 };
+    let first = service.submit_batch(&[q]);
+    let tau = first[0].result.as_ref().unwrap().tau;
+
+    // The curve recorded steps 0..=τ, so its support sits inside the
+    // radius-τ BFS ball around the source; any edit strictly outside the
+    // radius-(τ+1) ball is support-disjoint by construction.
+    let dist = bfs_dist(&g0, q.source);
+    let far_edges: Vec<(usize, usize)> = g0
+        .edges()
+        .filter(|&(u, v)| dist[u] > tau + 1 && dist[v] > tau + 1)
+        .collect();
+    let swap = far_edges
+        .iter()
+        .enumerate()
+        .find_map(|(i, &(a, b))| {
+            far_edges[i + 1..].iter().find_map(|&(c, d)| {
+                (a != c && a != d && b != c && b != d
+                    && !g0.has_edge(a, c)
+                    && !g0.has_edge(b, d))
+                .then(|| {
+                    [
+                        EdgeEdit::delete(a, b),
+                        EdgeEdit::delete(c, d),
+                        EdgeEdit::insert(a, c),
+                        EdgeEdit::insert(b, d),
+                    ]
+                })
+            })
+        })
+        .expect("a swap beyond the support radius exists on this family");
+
+    let outcome = service.apply_churn(&swap).unwrap();
+    assert_eq!((outcome.retained, outcome.dropped), (1, 0));
+    assert!(service.stats().curves_retained >= 1, "retained count must show in stats");
+
+    let mut mirror = ChurnGraph::new(g0.clone());
+    mirror.apply(&swap).unwrap();
+    let replayed = service.submit_batch(&[q]);
+    assert_matches_oracle(&mirror.topology().clone(), &cfg, &replayed);
+    assert_eq!(service.stats().evolutions, 1, "retained curve answers by replay");
+    assert_eq!(service.stats().cache_hits, 1);
+
+    // Now hit the source itself: the curve must drop and recompute.
+    let b = g0.neighbors(0).next().unwrap();
+    let post0 = mirror.topology().clone();
+    let far2: Vec<(usize, usize)> = post0
+        .edges()
+        .filter(|&(u, v)| dist[u] > tau + 1 && dist[v] > tau + 1 && u != b && v != b)
+        .collect();
+    let (x, y) = *far2
+        .iter()
+        .find(|&&(x, y)| !post0.has_edge(0, x) && !post0.has_edge(b, y) && x != b && y != b)
+        .expect("a distant partner edge exists");
+    let near_swap = [
+        EdgeEdit::delete(0, b),
+        EdgeEdit::delete(x, y),
+        EdgeEdit::insert(0, x),
+        EdgeEdit::insert(b, y),
+    ];
+    let outcome = service.apply_churn(&near_swap).unwrap();
+    assert_eq!((outcome.retained, outcome.dropped), (0, 1));
+    mirror.apply(&near_swap).unwrap();
+    let recomputed = service.submit_batch(&[q]);
+    assert_matches_oracle(&mirror.topology().clone(), &cfg, &recomputed);
+    assert_eq!(service.stats().evolutions, 2, "dropped curve re-evolves");
+}
